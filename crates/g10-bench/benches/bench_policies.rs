@@ -1,0 +1,32 @@
+//! Criterion bench: replay cost of every compared design (Ideal, Base UVM,
+//! DeepUM+, FlashNeuron, G10 variants) on one representative workload
+//! (BERT at its evaluation batch size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use g10_core::config::SystemConfig;
+use g10_dnn::models::ModelKind;
+use g10_sim::runner::{run_policy, PolicyKind, Workload};
+
+fn bench_policies(c: &mut Criterion) {
+    let config = SystemConfig::table2();
+    let workload = Workload::new(ModelKind::Bert, ModelKind::Bert.eval_batch());
+    let mut group = c.benchmark_group("policy_replay_bert");
+    group.sample_size(10);
+    for policy in [
+        PolicyKind::Ideal,
+        PolicyKind::BaseUvm,
+        PolicyKind::DeepUmPlus,
+        PolicyKind::FlashNeuron,
+        PolicyKind::G10Gds,
+        PolicyKind::G10Host,
+        PolicyKind::G10Full,
+    ] {
+        group.bench_function(policy.label(), |b| {
+            b.iter(|| run_policy(&workload, policy, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench: end-to-end replay of the Figure-11 workloads under the
+//! full G10 design (plan + replay), one benchmark per evaluated model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use g10_core::config::SystemConfig;
+use g10_dnn::models::ModelKind;
+use g10_sim::runner::{run_policy, PolicyKind, Workload};
+
+fn bench_replay(c: &mut Criterion) {
+    let config = SystemConfig::table2();
+    let mut group = c.benchmark_group("fig11_replay_g10");
+    group.sample_size(10);
+    for model in ModelKind::PAPER_MODELS {
+        let workload = Workload::new(model, model.eval_batch());
+        group.bench_function(model.name(), |b| {
+            b.iter(|| run_policy(&workload, PolicyKind::G10Full, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

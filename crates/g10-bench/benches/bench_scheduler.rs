@@ -1,0 +1,31 @@
+//! Criterion bench: the smart tensor migration scheduler (Algorithm 1 +
+//! prefetch scheduling) on every Figure-11 workload.
+//!
+//! The planning happens once per model at compile time in the real system;
+//! this bench shows it stays in the sub-second range even for the largest
+//! (SENet-154) graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use g10_core::config::SystemConfig;
+use g10_core::scheduler::{G10Scheduler, SchedulerVariant};
+use g10_dnn::models::ModelKind;
+use g10_sim::runner::Workload;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let config = SystemConfig::table2();
+    let mut group = c.benchmark_group("g10_scheduler_plan");
+    group.sample_size(10);
+    for model in ModelKind::PAPER_MODELS {
+        let workload = Workload::new(model, model.eval_batch());
+        group.bench_function(model.name(), |b| {
+            b.iter(|| {
+                G10Scheduler::new(config, SchedulerVariant::Full)
+                    .plan(&workload.graph, &workload.trace)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

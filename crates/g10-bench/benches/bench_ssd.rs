@@ -1,0 +1,40 @@
+//! Criterion bench: the flash SSD simulator substrate (FTL writes with
+//! garbage collection, reads under channel/chip contention).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use g10_ssd::{Ssd, SsdConfig};
+use g10_time::Nanos;
+
+fn bench_ssd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssd_simulator");
+
+    group.bench_function("bulk_write_1k_pages", |b| {
+        b.iter(|| {
+            let mut ssd = Ssd::new(SsdConfig::small_test());
+            ssd.write_bulk(0, 1000, Nanos::ZERO).unwrap()
+        })
+    });
+
+    group.bench_function("overwrite_with_gc", |b| {
+        b.iter(|| {
+            let mut ssd = Ssd::new(SsdConfig::small_test());
+            let logical = ssd.config().logical_pages();
+            let mut now = Nanos::ZERO;
+            for i in 0..logical * 2 {
+                now = ssd.write(i % (logical / 2), now).unwrap();
+            }
+            ssd.stats().block_erases
+        })
+    });
+
+    group.bench_function("read_after_write", |b| {
+        let mut ssd = Ssd::new(SsdConfig::small_test());
+        let done = ssd.write_bulk(0, 512, Nanos::ZERO).unwrap();
+        b.iter(|| ssd.clone().read_bulk(0, 512, done).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssd);
+criterion_main!(benches);

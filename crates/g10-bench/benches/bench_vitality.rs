@@ -1,0 +1,25 @@
+//! Criterion bench: tensor vitality analysis (§4.2) over every paper model.
+//!
+//! This is the compile-time analysis pass that extracts lifetimes and
+//! inactive periods; the paper argues it is "almost free at the compilation
+//! stage", which this bench quantifies for our substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use g10_core::vitality::VitalityAnalysis;
+use g10_dnn::models::ModelKind;
+use g10_sim::runner::Workload;
+
+fn bench_vitality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vitality_analysis");
+    group.sample_size(10);
+    for model in ModelKind::PAPER_MODELS {
+        let workload = Workload::new(model, model.characterization_batch());
+        group.bench_function(model.name(), |b| {
+            b.iter(|| VitalityAnalysis::analyze(&workload.graph, &workload.trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vitality);
+criterion_main!(benches);

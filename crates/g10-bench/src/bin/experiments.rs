@@ -1,0 +1,124 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments <command> [--out results]
+//!
+//! commands:
+//!   table1 table2 fig2 fig3 fig4 fig11 fig12 fig13 fig14 fig15 fig16
+//!   fig17 fig18 fig19 lifetime all
+//! ```
+//!
+//! Each command prints the rows the paper reports and writes a CSV file into
+//! the output directory (default `results/`).
+
+use g10_bench::experiments::{self, EndToEndRuns};
+use g10_bench::output::{write_csv, Table};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn emit(table: &Table, out_dir: &PathBuf, name: &str) {
+    println!("{}", table.render());
+    if let Err(err) = write_csv(table, out_dir, name) {
+        eprintln!("warning: could not write {name}.csv: {err}");
+    }
+}
+
+fn emit_all(tables: &[Table], out_dir: &PathBuf, prefix: &str) {
+    for (i, table) in tables.iter().enumerate() {
+        emit(table, out_dir, &format!("{prefix}_{i}"));
+    }
+}
+
+fn end_to_end(out_dir: &PathBuf) -> EndToEndRuns {
+    let data = EndToEndRuns::collect();
+    let _ = out_dir;
+    data
+}
+
+fn run(command: &str, out_dir: &PathBuf) -> Result<(), String> {
+    match command {
+        "table1" => emit(&experiments::table1(), out_dir, "table1"),
+        "table2" => emit(&experiments::table2(), out_dir, "table2"),
+        "fig2" => emit_all(&experiments::fig2(), out_dir, "fig2"),
+        "fig3" => emit(&experiments::fig3(), out_dir, "fig3"),
+        "fig4" => emit_all(&experiments::fig4(), out_dir, "fig4"),
+        "fig11" | "fig12" | "fig13" | "fig14" | "lifetime" => {
+            let data = end_to_end(out_dir);
+            match command {
+                "fig11" => emit(&experiments::fig11(&data), out_dir, "fig11"),
+                "fig12" => emit(&experiments::fig12(&data), out_dir, "fig12"),
+                "fig13" => emit(&experiments::fig13(&data), out_dir, "fig13"),
+                "fig14" => emit(&experiments::fig14(&data), out_dir, "fig14"),
+                _ => emit(&experiments::lifetime(&data), out_dir, "lifetime"),
+            }
+        }
+        "fig15" => emit(&experiments::fig15(), out_dir, "fig15"),
+        "fig16" => emit(&experiments::fig16(), out_dir, "fig16"),
+        "fig17" => emit(&experiments::fig17(), out_dir, "fig17"),
+        "fig18" => emit(&experiments::fig18(), out_dir, "fig18"),
+        "fig19" => emit(&experiments::fig19(), out_dir, "fig19"),
+        "all" => {
+            emit(&experiments::table1(), out_dir, "table1");
+            emit(&experiments::table2(), out_dir, "table2");
+            emit_all(&experiments::fig2(), out_dir, "fig2");
+            emit(&experiments::fig3(), out_dir, "fig3");
+            emit_all(&experiments::fig4(), out_dir, "fig4");
+            let data = end_to_end(out_dir);
+            emit(&experiments::fig11(&data), out_dir, "fig11");
+            emit(&experiments::fig12(&data), out_dir, "fig12");
+            emit(&experiments::fig13(&data), out_dir, "fig13");
+            emit(&experiments::fig14(&data), out_dir, "fig14");
+            emit(&experiments::lifetime(&data), out_dir, "lifetime");
+            emit(&experiments::fig15(), out_dir, "fig15");
+            emit(&experiments::fig16(), out_dir, "fig16");
+            emit(&experiments::fig17(), out_dir, "fig17");
+            emit(&experiments::fig18(), out_dir, "fig18");
+            emit(&experiments::fig19(), out_dir, "fig19");
+        }
+        other => return Err(format!("unknown command: {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                if let Some(dir) = iter.next() {
+                    out_dir = PathBuf::from(dir);
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments <table1|table2|fig2|fig3|fig4|fig11|fig12|fig13|fig14|\
+                     fig15|fig16|fig17|fig18|fig19|lifetime|all> [--out DIR]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => command = Some(other.to_string()),
+        }
+    }
+    let Some(command) = command else {
+        eprintln!("error: no command given (try --help)");
+        return ExitCode::FAILURE;
+    };
+    let started = std::time::Instant::now();
+    match run(&command, &out_dir) {
+        Ok(()) => {
+            println!(
+                "[experiments] {command} finished in {:.1}s; CSV written to {}",
+                started.elapsed().as_secs_f64(),
+                out_dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

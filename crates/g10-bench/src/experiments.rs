@@ -1,0 +1,615 @@
+//! Experiment drivers: one function per table / figure of the paper.
+//!
+//! Every driver returns a [`Table`] (or a set of tables) containing the same
+//! rows / series the paper reports, so the `experiments` binary can print
+//! them and write CSV files under `results/`.  The drivers are also reused
+//! by the criterion benches.
+
+use crate::output::Table;
+use g10_core::config::SystemConfig;
+use g10_dnn::models::ModelKind;
+use g10_dnn::stats::{fraction_longer_than, inactive_periods, memory_consumption};
+use g10_sim::metrics::SimReport;
+use g10_sim::runner::{
+    parallel_map, run_policy, run_policy_with_planning_trace, PolicyKind, Workload,
+};
+use g10_ssd::EnduranceModel;
+use g10_time::Nanos;
+
+const GIB: f64 = (1u64 << 30) as f64;
+const GB: f64 = 1e9;
+
+fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+// ---------------------------------------------------------------------------
+// Tables 1 and 2
+// ---------------------------------------------------------------------------
+
+/// Table 1: evaluated DNN models, kernel counts and memory footprints.
+pub fn table1() -> Table {
+    let mut table = Table::new(
+        "Table 1: evaluated DNN models",
+        &["model", "eval_batch", "kernels", "tensors", "total_gib", "memory_vs_gpu_pct"],
+    );
+    let config = SystemConfig::table2();
+    let rows = parallel_map(ModelKind::PAPER_MODELS.to_vec(), |model| {
+        let workload = Workload::new(*model, model.eval_batch());
+        (
+            model.name().to_string(),
+            model.eval_batch(),
+            workload.graph.num_kernels(),
+            workload.graph.num_tensors(),
+            workload.graph.total_tensor_bytes() as f64 / GIB,
+            workload.memory_ratio(&config) * 100.0,
+        )
+    });
+    for (name, batch, kernels, tensors, gib, ratio) in rows {
+        table.push_row(vec![
+            name,
+            batch.to_string(),
+            kernels.to_string(),
+            tensors.to_string(),
+            format!("{gib:.1}"),
+            format!("{ratio:.1}"),
+        ]);
+    }
+    table
+}
+
+/// Table 2: system configuration.
+pub fn table2() -> Table {
+    let c = SystemConfig::table2();
+    let mut table = Table::new("Table 2: system configuration", &["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("CPU main memory", format!("{} GiB DDR4", c.host_memory_bytes >> 30)),
+        ("GPU memory", format!("{} GiB HBM2e", c.gpu_memory_bytes >> 30)),
+        ("Page size", format!("{} B", c.page_bytes)),
+        (
+            "SSD read/write bandwidth",
+            format!(
+                "{:.1}/{:.1} GB/s",
+                c.ssd_read_bytes_per_sec / GB,
+                c.ssd_write_bytes_per_sec / GB
+            ),
+        ),
+        (
+            "SSD read/write latency",
+            format!(
+                "{:.0}/{:.0} us",
+                c.ssd_read_latency.as_micros_f64(),
+                c.ssd_write_latency.as_micros_f64()
+            ),
+        ),
+        (
+            "Interconnect",
+            format!("PCIe Gen3 x16 ({:.3} GB/s per direction)", c.pcie_bytes_per_sec / GB),
+        ),
+        (
+            "GPU page fault handling latency",
+            format!("{:.0} us", c.fault_latency.as_micros_f64()),
+        ),
+    ];
+    for (k, v) in rows {
+        table.push_row(vec![k.to_string(), v]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figures 2-4: workload characterisation
+// ---------------------------------------------------------------------------
+
+/// The four models used in the characterisation study (§3).
+pub fn characterization_models() -> Vec<ModelKind> {
+    vec![
+        ModelKind::Bert,
+        ModelKind::Vit,
+        ModelKind::ResNet152,
+        ModelKind::InceptionV3,
+    ]
+}
+
+/// Figure 2: per-kernel active vs total (live) memory consumption, as a
+/// fraction of the peak, sampled along the kernel index axis.
+pub fn fig2() -> Vec<Table> {
+    parallel_map(characterization_models(), |model| {
+        let batch = model.characterization_batch();
+        let workload = Workload::new(*model, batch);
+        let mc = memory_consumption(&workload.graph);
+        let peak = mc.peak_live_bytes().max(1) as f64;
+        let mut table = Table::new(
+            format!("Figure 2: memory consumption, {}-{}", model.name(), batch),
+            &["kernel_index", "active_pct_of_peak", "all_pct_of_peak"],
+        );
+        let n = mc.active_bytes.len();
+        let step = (n / 200).max(1);
+        for k in (0..n).step_by(step) {
+            table.push_row(vec![
+                k.to_string(),
+                format!("{:.3}", mc.active_bytes[k] as f64 / peak * 100.0),
+                format!("{:.3}", mc.live_bytes[k] as f64 / peak * 100.0),
+            ]);
+        }
+        table
+    })
+}
+
+/// Figure 3: distribution (CDF) of tensor inactive-period lengths.
+pub fn fig3() -> Table {
+    let mut table = Table::new(
+        "Figure 3: inactive period length distribution",
+        &[
+            "model", "batch", "periods", "p10_us", "p25_us", "p50_us", "p75_us", "p90_us",
+            "max_us", "frac_longer_than_ssd_latency_pct",
+        ],
+    );
+    let rows = parallel_map(characterization_models(), |model| {
+        let batch = model.characterization_batch();
+        let workload = Workload::new(*model, batch);
+        let periods = inactive_periods(&workload.graph, &workload.trace);
+        let mut lengths: Vec<f64> = periods.iter().map(|p| p.length.as_micros_f64()).collect();
+        lengths.sort_by(|a, b| a.total_cmp(b));
+        let q = |p: f64| -> f64 {
+            if lengths.is_empty() {
+                return 0.0;
+            }
+            lengths[((lengths.len() - 1) as f64 * p) as usize]
+        };
+        let hide = fraction_longer_than(&periods, Nanos::from_micros(20));
+        vec![
+            model.name().to_string(),
+            batch.to_string(),
+            periods.len().to_string(),
+            format!("{:.1}", q(0.10)),
+            format!("{:.1}", q(0.25)),
+            format!("{:.1}", q(0.50)),
+            format!("{:.1}", q(0.75)),
+            format!("{:.1}", q(0.90)),
+            format!("{:.1}", q(1.0)),
+            pct(hide),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 4: inactive-period length vs tensor size (bucketed scatter).
+pub fn fig4() -> Vec<Table> {
+    parallel_map(characterization_models(), |model| {
+        let batch = model.characterization_batch();
+        let workload = Workload::new(*model, batch);
+        let periods = inactive_periods(&workload.graph, &workload.trace);
+        let mut table = Table::new(
+            format!("Figure 4: period length vs size, {}-{}", model.name(), batch),
+            &["tensor_bytes", "inactive_period_us"],
+        );
+        let step = (periods.len() / 2000).max(1);
+        for p in periods.iter().step_by(step) {
+            table.push_row(vec![
+                p.bytes.to_string(),
+                format!("{:.1}", p.length.as_micros_f64()),
+            ]);
+        }
+        table
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Figures 11-14 + §7.7: the end-to-end comparison at the evaluation batches
+// ---------------------------------------------------------------------------
+
+/// All end-to-end runs behind Figures 11–14 and the §7.7 lifetime analysis.
+pub struct EndToEndRuns {
+    /// Per model: the reports of every Figure-11 policy plus the Ideal run.
+    pub runs: Vec<(ModelKind, Vec<SimReport>)>,
+}
+
+impl EndToEndRuns {
+    /// Runs every model at its evaluation batch size under every design.
+    pub fn collect() -> Self {
+        let config = SystemConfig::table2();
+        let runs = parallel_map(ModelKind::PAPER_MODELS.to_vec(), |model| {
+            let workload = Workload::new(*model, model.eval_batch());
+            let mut reports = vec![run_policy(&workload, PolicyKind::Ideal, &config)];
+            for policy in PolicyKind::FIGURE11 {
+                reports.push(run_policy(&workload, policy, &config));
+            }
+            (*model, reports)
+        });
+        EndToEndRuns { runs }
+    }
+
+    fn policies(&self) -> Vec<String> {
+        self.runs
+            .first()
+            .map(|(_, reports)| reports.iter().map(|r| r.policy.clone()).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Figure 11: end-to-end training throughput normalised to Ideal.
+pub fn fig11(data: &EndToEndRuns) -> Table {
+    let mut header = vec!["model".to_string(), "batch".to_string(), "memory_pct".to_string()];
+    header.extend(data.policies());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Figure 11: normalized training performance (1.0 = ideal)",
+        &header_refs,
+    );
+    let config = SystemConfig::table2();
+    for (model, reports) in &data.runs {
+        let workload_bytes = reports[0].traffic.total(); // unused placeholder
+        let _ = workload_bytes;
+        let total_bytes: f64 = {
+            let graph = g10_dnn::models::build_model(*model, model.eval_batch());
+            graph.total_tensor_bytes() as f64
+        };
+        let mut row = vec![
+            model.name().to_string(),
+            model.eval_batch().to_string(),
+            format!("{:.1}", total_bytes / config.gpu_memory_bytes as f64 * 100.0),
+        ];
+        for report in reports {
+            row.push(format!("{:.3}", report.normalized_performance()));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 12: execution-time breakdown (overlapped compute vs stall).
+pub fn fig12(data: &EndToEndRuns) -> Table {
+    let mut table = Table::new(
+        "Figure 12: execution time breakdown",
+        &["model", "policy", "compute_and_transfer_pct", "stall_pct"],
+    );
+    for (model, reports) in &data.runs {
+        for report in reports {
+            if report.policy == "Ideal" || report.policy == "G10-GDS" || report.policy == "G10-Host"
+            {
+                continue;
+            }
+            table.push_row(vec![
+                model.name().to_string(),
+                report.policy.clone(),
+                pct(report.overlap_fraction()),
+                pct(report.stall_fraction()),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 13: distribution of per-kernel slowdowns.
+pub fn fig13(data: &EndToEndRuns) -> Table {
+    let mut table = Table::new(
+        "Figure 13: kernel slowdown distribution (normalized to ideal)",
+        &[
+            "model", "policy", "frac_kernels_slowed_pct", "p50", "p90", "p99", "max",
+        ],
+    );
+    for (model, reports) in &data.runs {
+        for report in reports {
+            if report.policy == "Ideal" || report.policy == "G10-GDS" || report.policy == "G10-Host"
+            {
+                continue;
+            }
+            table.push_row(vec![
+                model.name().to_string(),
+                report.policy.clone(),
+                pct(report.fraction_of_kernels_slower_than(1.001)),
+                format!("{:.2}", report.slowdown_quantile(0.50)),
+                format!("{:.2}", report.slowdown_quantile(0.90)),
+                format!("{:.2}", report.slowdown_quantile(0.99)),
+                format!("{:.2}", report.slowdown_quantile(1.0)),
+            ]);
+        }
+    }
+    table
+}
+
+/// Figure 14: tensor migration traffic breakdown.
+pub fn fig14(data: &EndToEndRuns) -> Table {
+    let mut table = Table::new(
+        "Figure 14: migration traffic (GB)",
+        &[
+            "model", "policy", "gpu_ssd_gb", "gpu_host_gb", "ssd_writes_gb", "ssd_reads_gb",
+        ],
+    );
+    for (model, reports) in &data.runs {
+        for report in reports {
+            if report.policy == "Ideal" {
+                continue;
+            }
+            table.push_row(vec![
+                model.name().to_string(),
+                report.policy.clone(),
+                format!("{:.1}", report.traffic.ssd_total() as f64 / GB),
+                format!("{:.1}", report.traffic.host_total() as f64 / GB),
+                format!("{:.1}", report.traffic.gpu_to_ssd_bytes as f64 / GB),
+                format!("{:.1}", report.traffic.ssd_to_gpu_bytes as f64 / GB),
+            ]);
+        }
+    }
+    table
+}
+
+/// §7.7: SSD write traffic and projected device lifetime.
+pub fn lifetime(data: &EndToEndRuns) -> Table {
+    let mut table = Table::new(
+        "Section 7.7: SSD lifetime under continuous training",
+        &[
+            "model", "policy", "ssd_write_gb_per_iter", "write_rate_gb_per_s",
+            "lifetime_years", "writes_vs_g10",
+        ],
+    );
+    let endurance = EnduranceModel::samsung_z_ssd();
+    for (model, reports) in &data.runs {
+        let g10_writes = reports
+            .iter()
+            .find(|r| r.policy == "G10")
+            .map(|r| r.ssd_write_bytes())
+            .unwrap_or(0)
+            .max(1);
+        for report in reports {
+            if !matches!(report.policy.as_str(), "G10" | "DeepUM+" | "FlashNeuron") {
+                continue;
+            }
+            let write_rate = report.ssd_write_bytes() as f64 / report.total_time.as_secs_f64();
+            table.push_row(vec![
+                model.name().to_string(),
+                report.policy.clone(),
+                format!("{:.1}", report.ssd_write_bytes() as f64 / GB),
+                format!("{:.2}", write_rate / GB),
+                format!("{:.1}", endurance.lifetime_years(write_rate)),
+                format!("{:.2}", report.ssd_write_bytes() as f64 / g10_writes as f64),
+            ]);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 15: varying batch size
+// ---------------------------------------------------------------------------
+
+/// Figure 15: training throughput as the batch size varies.
+pub fn fig15() -> Table {
+    let mut table = Table::new(
+        "Figure 15: training throughput vs batch size",
+        &["model", "batch", "unit", "policy", "throughput"],
+    );
+    let config = SystemConfig::table2();
+    let mut specs = Vec::new();
+    for model in ModelKind::PAPER_MODELS {
+        for batch in model.batch_sweep() {
+            specs.push((model, batch));
+        }
+    }
+    let rows = parallel_map(specs, |(model, batch)| {
+        let workload = Workload::new(*model, *batch);
+        let mut rows = Vec::new();
+        for policy in [
+            PolicyKind::Ideal,
+            PolicyKind::BaseUvm,
+            PolicyKind::FlashNeuron,
+            PolicyKind::DeepUmPlus,
+            PolicyKind::G10Full,
+        ] {
+            let report = run_policy(&workload, policy, &config);
+            rows.push(vec![
+                model.name().to_string(),
+                batch.to_string(),
+                model.throughput_unit().to_string(),
+                report.policy.clone(),
+                format!("{:.2}", report.throughput()),
+            ]);
+        }
+        rows
+    });
+    for group in rows {
+        for row in group {
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figures 16 and 17: varying host memory capacity
+// ---------------------------------------------------------------------------
+
+/// The host-memory capacities swept in §7.4, in GiB.
+pub const HOST_SWEEP_GIB: [u64; 6] = [0, 16, 32, 64, 128, 256];
+
+/// Figure 16: G10 execution time as the host memory capacity varies.
+pub fn fig16() -> Table {
+    let mut table = Table::new(
+        "Figure 16: G10 execution time vs host memory capacity",
+        &["model", "batch", "host_gib", "execution_time_s"],
+    );
+    let batches: Vec<(ModelKind, Vec<u64>)> = vec![
+        (ModelKind::Bert, vec![256, 384, 512, 640]),
+        (ModelKind::Vit, vec![768, 1024, 1280, 1536]),
+        (ModelKind::InceptionV3, vec![512, 1024, 1280, 1536]),
+        (ModelKind::ResNet152, vec![768, 1024, 1280, 1536]),
+        (ModelKind::SENet154, vec![256, 512, 768, 1024]),
+    ];
+    let mut specs = Vec::new();
+    for (model, list) in &batches {
+        for &batch in list {
+            specs.push((*model, batch));
+        }
+    }
+    let rows = parallel_map(specs, |(model, batch)| {
+        let workload = Workload::new(*model, *batch);
+        let mut rows = Vec::new();
+        for host_gib in HOST_SWEEP_GIB {
+            let config = SystemConfig::table2().with_host_memory(host_gib << 30);
+            let report = run_policy(&workload, PolicyKind::G10Full, &config);
+            rows.push(vec![
+                model.name().to_string(),
+                batch.to_string(),
+                host_gib.to_string(),
+                format!("{:.2}", report.total_time.as_secs_f64()),
+            ]);
+        }
+        rows
+    });
+    for group in rows {
+        for row in group {
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+/// Figure 17: G10 vs DeepUM+ vs FlashNeuron across host memory capacities.
+pub fn fig17() -> Table {
+    let mut table = Table::new(
+        "Figure 17: execution time vs host memory capacity (comparison)",
+        &["model", "batch", "host_gib", "policy", "execution_time_s"],
+    );
+    let specs: Vec<(ModelKind, u64)> =
+        vec![(ModelKind::Vit, 1024), (ModelKind::InceptionV3, 1280)];
+    let rows = parallel_map(specs, |(model, batch)| {
+        let workload = Workload::new(*model, *batch);
+        let mut rows = Vec::new();
+        for host_gib in [0u64, 16, 32, 64, 256] {
+            let config = SystemConfig::table2().with_host_memory(host_gib << 30);
+            for policy in [
+                PolicyKind::DeepUmPlus,
+                PolicyKind::FlashNeuron,
+                PolicyKind::G10Full,
+            ] {
+                let report = run_policy(&workload, policy, &config);
+                rows.push(vec![
+                    model.name().to_string(),
+                    batch.to_string(),
+                    host_gib.to_string(),
+                    report.policy.clone(),
+                    format!("{:.2}", report.total_time.as_secs_f64()),
+                ]);
+            }
+        }
+        rows
+    });
+    for group in rows {
+        for row in group {
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 18: varying SSD bandwidth
+// ---------------------------------------------------------------------------
+
+/// The SSD bandwidths swept in §7.5, in GB/s (1, 2, 3, 4, 5 stacked SSDs).
+pub const SSD_BANDWIDTH_SWEEP_GBPS: [f64; 5] = [6.4, 12.8, 19.2, 25.6, 32.0];
+
+/// Figure 18: performance (normalised to ideal) as the SSD bandwidth grows,
+/// with a PCIe 4.0 x16 interconnect.
+pub fn fig18() -> Table {
+    let mut table = Table::new(
+        "Figure 18: normalized performance vs SSD bandwidth (PCIe 4.0)",
+        &["model", "ssd_gbps", "policy", "normalized_performance"],
+    );
+    let rows = parallel_map(ModelKind::PAPER_MODELS.to_vec(), |model| {
+        let workload = Workload::new(*model, model.eval_batch());
+        let mut rows = Vec::new();
+        for gbps in SSD_BANDWIDTH_SWEEP_GBPS {
+            let config = SystemConfig::table2()
+                .with_ssd_bandwidth(gbps * 1e9)
+                .with_pcie_bandwidth(32e9);
+            for policy in PolicyKind::COMPARED {
+                let report = run_policy(&workload, policy, &config);
+                rows.push(vec![
+                    model.name().to_string(),
+                    format!("{gbps:.1}"),
+                    report.policy.clone(),
+                    format!("{:.3}", report.normalized_performance()),
+                ]);
+            }
+        }
+        rows
+    });
+    for group in rows {
+        for row in group {
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 19: profiling error robustness
+// ---------------------------------------------------------------------------
+
+/// The kernel-timing error levels of §7.6.
+pub const PROFILING_ERRORS: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
+
+/// Figure 19: G10 performance when the scheduler plans against kernel timings
+/// perturbed by random error, normalised to the error-free plan.
+pub fn fig19() -> Table {
+    let mut table = Table::new(
+        "Figure 19: G10 performance under kernel timing prediction errors",
+        &["model", "error_pct", "normalized_to_no_error"],
+    );
+    let config = SystemConfig::table2();
+    let rows = parallel_map(ModelKind::PAPER_MODELS.to_vec(), |model| {
+        let workload = Workload::new(*model, model.eval_batch());
+        let baseline = run_policy(&workload, PolicyKind::G10Full, &config);
+        let mut rows = Vec::new();
+        for error in PROFILING_ERRORS {
+            let noisy = workload.trace.with_noise(error, 0xC0FFEE);
+            let report =
+                run_policy_with_planning_trace(&workload, PolicyKind::G10Full, &config, &noisy);
+            rows.push(vec![
+                model.name().to_string(),
+                format!("{:.0}", error * 100.0),
+                format!(
+                    "{:.4}",
+                    baseline.total_time.as_secs_f64() / report.total_time.as_secs_f64()
+                ),
+            ]);
+        }
+        rows
+    });
+    for group in rows {
+        for row in group {
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full-scale drivers are exercised by the `experiments` binary and
+    // the integration tests; here we only check the cheap static tables.
+
+    #[test]
+    fn table2_lists_the_hardware() {
+        let t = table2();
+        assert!(t.len() >= 6);
+        let rendered = t.render();
+        assert!(rendered.contains("GPU memory"));
+        assert!(rendered.contains("PCIe"));
+    }
+
+    #[test]
+    fn sweep_constants_are_ordered() {
+        assert!(SSD_BANDWIDTH_SWEEP_GBPS.windows(2).all(|w| w[0] < w[1]));
+        assert!(PROFILING_ERRORS.windows(2).all(|w| w[0] < w[1]));
+        assert!(HOST_SWEEP_GIB.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(characterization_models().len(), 4);
+    }
+}

@@ -1,0 +1,8 @@
+//! Shared helpers for the G10 benchmark harness: experiment drivers used by
+//! both the `experiments` binary and the criterion benches, plus simple
+//! table / CSV output.
+
+pub mod experiments;
+pub mod output;
+
+pub use output::{write_csv, Table};

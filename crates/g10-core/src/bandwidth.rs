@@ -1,0 +1,176 @@
+//! Bandwidth-reservation timelines used during planning.
+//!
+//! While building the migration plan, the scheduler must know whether the
+//! GPU–SSD or GPU–host channel still has room for another migration at a
+//! given point in time ("if to_ssd_traffic is full during t_r to t_r + t_s",
+//! Algorithm 1).  A [`BandwidthTimeline`] divides the iteration into
+//! fixed-width bins, gives each bin `rate × bin_width` bytes of capacity and
+//! lets the planner reserve bytes greedily from a start time forward.
+
+use g10_time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A binned bandwidth-reservation timeline for one channel direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTimeline {
+    bin_width: Nanos,
+    bytes_per_bin: f64,
+    used: Vec<f64>,
+    total_reserved: f64,
+}
+
+impl BandwidthTimeline {
+    /// Creates a timeline covering `[0, horizon]` for a channel of
+    /// `bytes_per_sec`, using bins of `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin width is zero.
+    pub fn new(bytes_per_sec: f64, horizon: Nanos, bin_width: Nanos) -> Self {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
+        let bins = (horizon.as_nanos() / bin_width.as_nanos() + 2) as usize;
+        BandwidthTimeline {
+            bin_width,
+            bytes_per_bin: bytes_per_sec * bin_width.as_secs_f64(),
+            used: vec![0.0; bins],
+            total_reserved: 0.0,
+        }
+    }
+
+    /// Default bin width used by the planner (250 µs keeps even a
+    /// multi-minute iteration under a million bins).
+    pub fn default_bin_width() -> Nanos {
+        Nanos::from_micros(250)
+    }
+
+    /// Number of bins in the timeline.
+    pub fn bins(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Total bytes reserved so far.
+    pub fn total_reserved_bytes(&self) -> f64 {
+        self.total_reserved
+    }
+
+    fn bin_of(&self, time: Nanos) -> usize {
+        ((time.as_nanos() / self.bin_width.as_nanos()) as usize).min(self.used.len() - 1)
+    }
+
+    /// Free capacity (bytes) between `start` and `end`.
+    pub fn free_bytes_between(&self, start: Nanos, end: Nanos) -> f64 {
+        if end <= start {
+            return 0.0;
+        }
+        let lo = self.bin_of(start);
+        let hi = self.bin_of(end);
+        (lo..=hi)
+            .map(|b| (self.bytes_per_bin - self.used[b]).max(0.0))
+            .sum()
+    }
+
+    /// Returns `true` if a transfer of `bytes` starting at `start` cannot fit
+    /// inside the window `[start, start + nominal_duration]` — the paper's
+    /// "traffic is full" test.
+    pub fn is_saturated(&self, bytes: u64, start: Nanos, nominal_duration: Nanos) -> bool {
+        let end = start.saturating_add(nominal_duration);
+        self.free_bytes_between(start, end) < bytes as f64
+    }
+
+    /// Reserves `bytes` starting at `start`, filling bins greedily forward,
+    /// and returns the time at which the last byte is transferred.
+    pub fn reserve(&mut self, bytes: u64, start: Nanos) -> Nanos {
+        let mut remaining = bytes as f64;
+        self.total_reserved += bytes as f64;
+        let mut bin = self.bin_of(start);
+        while remaining > 0.0 {
+            if bin >= self.used.len() {
+                // Past the planning horizon: everything fits notionally at
+                // the very end.
+                let last = self.used.len() - 1;
+                self.used[last] += remaining;
+                return self.end_of_bin(last);
+            }
+            let free = (self.bytes_per_bin - self.used[bin]).max(0.0);
+            if free > 0.0 {
+                let take = free.min(remaining);
+                self.used[bin] += take;
+                remaining -= take;
+                if remaining <= 0.0 {
+                    return self.end_of_bin(bin);
+                }
+            }
+            bin += 1;
+        }
+        self.end_of_bin(bin.min(self.used.len() - 1))
+    }
+
+    fn end_of_bin(&self, bin: usize) -> Nanos {
+        Nanos::from_nanos((bin as u64 + 1) * self.bin_width.as_nanos())
+    }
+
+    /// Average utilisation of the channel over its whole horizon.
+    pub fn utilization(&self) -> f64 {
+        if self.used.is_empty() || self.bytes_per_bin <= 0.0 {
+            return 0.0;
+        }
+        let capacity = self.bytes_per_bin * self.used.len() as f64;
+        (self.total_reserved / capacity).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> BandwidthTimeline {
+        // 1 GB/s over 10 ms with 1 ms bins → 1 MB per bin, 12 bins.
+        BandwidthTimeline::new(1e9, Nanos::from_millis(10), Nanos::from_millis(1))
+    }
+
+    #[test]
+    fn reserve_fills_forward() {
+        let mut t = timeline();
+        let done = t.reserve(2_000_000, Nanos::ZERO);
+        // 2 MB at 1 MB/bin → finishes at the end of the second bin.
+        assert_eq!(done, Nanos::from_millis(2));
+        let done2 = t.reserve(1_000_000, Nanos::ZERO);
+        // The first two bins are full, so the next MB lands in bin 3.
+        assert_eq!(done2, Nanos::from_millis(3));
+    }
+
+    #[test]
+    fn saturation_test_matches_free_capacity() {
+        let mut t = timeline();
+        assert!(!t.is_saturated(1_000_000, Nanos::ZERO, Nanos::from_millis(1)));
+        t.reserve(2_000_000, Nanos::ZERO);
+        assert!(t.is_saturated(1_000_000, Nanos::ZERO, Nanos::from_millis(1)));
+        assert!(!t.is_saturated(1_000_000, Nanos::from_millis(3), Nanos::from_millis(1)));
+    }
+
+    #[test]
+    fn free_bytes_between_is_window_limited() {
+        let t = timeline();
+        let one_bin = t.free_bytes_between(Nanos::ZERO, Nanos::from_micros(500));
+        assert!((one_bin - 1_000_000.0).abs() < 1.0);
+        assert_eq!(t.free_bytes_between(Nanos::from_millis(5), Nanos::from_millis(5)), 0.0);
+    }
+
+    #[test]
+    fn overflow_past_horizon_still_completes() {
+        let mut t = timeline();
+        let done = t.reserve(1_000_000_000, Nanos::ZERO);
+        assert_eq!(done, Nanos::from_millis(12));
+        assert!(t.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn utilization_tracks_reservations() {
+        let mut t = timeline();
+        assert_eq!(t.utilization(), 0.0);
+        t.reserve(6_000_000, Nanos::ZERO);
+        assert!(t.utilization() > 0.4 && t.utilization() <= 1.0);
+        assert!(t.total_reserved_bytes() > 0.0);
+        assert_eq!(t.bins(), 12);
+    }
+}

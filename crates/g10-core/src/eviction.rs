@@ -1,0 +1,376 @@
+//! Smart tensor eviction scheduling (Algorithm 1, §4.3).
+//!
+//! The planner iteratively selects the inactive period with the best
+//! benefit/cost ratio — the GPU memory-pressure area above the capacity
+//! limit that evicting the tensor removes, divided by the migration latency
+//! it costs — chooses between the SSD and host memory as the destination
+//! based on channel saturation and host capacity, updates its three pieces
+//! of global state (pressure timeline, host occupancy, bandwidth
+//! reservations), and repeats until the pressure curve fits under the GPU
+//! capacity or no beneficial candidate remains.
+//!
+//! Because every eviction only ever *lowers* the pressure curve, candidate
+//! benefits are non-increasing over the course of the search.  The
+//! implementation exploits this with a lazy-greedy (CELF-style) priority
+//! queue: a candidate popped with a stale score is re-scored, and accepted
+//! immediately if it still beats the next-best stale score — giving the same
+//! selection order as re-sorting every iteration (as written in Algorithm 1)
+//! at a fraction of the cost.
+
+use crate::bandwidth::BandwidthTimeline;
+use crate::config::{Destination, SystemConfig};
+use crate::pressure::MemoryTimeline;
+use crate::vitality::{PeriodId, VitalityAnalysis};
+use g10_dnn::graph::KernelId;
+use g10_dnn::tensor::TensorId;
+use g10_dnn::trace::KernelTrace;
+use g10_time::Nanos;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which eviction destinations the planner may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictionOptions {
+    /// Allow evicting to the SSD over the GPUDirect-Storage path.
+    pub allow_ssd: bool,
+    /// Allow evicting to host memory over PCIe.
+    pub allow_host: bool,
+}
+
+impl EvictionOptions {
+    /// Both destinations available (the full G10 design and G10-Host).
+    pub fn both() -> Self {
+        EvictionOptions {
+            allow_ssd: true,
+            allow_host: true,
+        }
+    }
+
+    /// SSD only (the G10-GDS ablation).
+    pub fn ssd_only() -> Self {
+        EvictionOptions {
+            allow_ssd: true,
+            allow_host: false,
+        }
+    }
+
+    /// The destination used for nominal cost estimates.
+    fn nominal_destination(&self) -> Destination {
+        if self.allow_ssd {
+            Destination::Ssd
+        } else {
+            Destination::Host
+        }
+    }
+}
+
+/// One scheduled pre-eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictionDecision {
+    /// The inactive period being exploited.
+    pub period: PeriodId,
+    /// The tensor to evict.
+    pub tensor: TensorId,
+    /// Its size in bytes.
+    pub bytes: u64,
+    /// Where it goes.
+    pub destination: Destination,
+    /// The kernel after which the eviction is issued.
+    pub evict_kernel: KernelId,
+    /// When the eviction is issued in the ideal schedule.
+    pub evict_start: Nanos,
+    /// When the planner expects the eviction to complete, accounting for the
+    /// bandwidth already reserved by earlier decisions.
+    pub evict_complete: Nanos,
+}
+
+/// The full result of the eviction-scheduling pass.
+#[derive(Debug, Clone)]
+pub struct EvictionSchedule {
+    /// The scheduled evictions, in the order they were selected.
+    pub decisions: Vec<EvictionDecision>,
+    /// GPU memory pressure after applying every eviction.
+    pub pressure: MemoryTimeline,
+    /// Host-memory occupancy created by host-destination evictions.
+    pub host_occupancy: MemoryTimeline,
+    /// Reservation state of the GPU→SSD channel.
+    pub to_ssd: BandwidthTimeline,
+    /// Reservation state of the GPU→host channel.
+    pub to_host: BandwidthTimeline,
+}
+
+impl EvictionSchedule {
+    /// Bytes scheduled for eviction to the SSD.
+    pub fn ssd_bytes(&self) -> u64 {
+        self.decisions
+            .iter()
+            .filter(|d| d.destination == Destination::Ssd)
+            .map(|d| d.bytes)
+            .sum()
+    }
+
+    /// Bytes scheduled for eviction to host memory.
+    pub fn host_bytes(&self) -> u64 {
+        self.decisions
+            .iter()
+            .filter(|d| d.destination == Destination::Host)
+            .map(|d| d.bytes)
+            .sum()
+    }
+
+    /// The planned peak GPU memory pressure after the evictions.
+    pub fn planned_peak_pressure(&self) -> u64 {
+        self.pressure.max_value()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    score: f64,
+    period: PeriodId,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.period == other.period
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| self.period.index().cmp(&other.period.index()))
+    }
+}
+
+/// Runs the smart eviction scheduling algorithm.
+pub fn schedule_evictions(
+    analysis: &VitalityAnalysis,
+    trace: &KernelTrace,
+    config: &SystemConfig,
+    options: EvictionOptions,
+) -> EvictionSchedule {
+    let n_kernels = trace.len();
+    let durations: Vec<Nanos> = (0..n_kernels)
+        .map(|k| trace.duration(KernelId::new(k as u32)))
+        .collect();
+    let mut pressure = MemoryTimeline::new(analysis.live_bytes(), &durations);
+    let mut host_occupancy = MemoryTimeline::zeroed(&durations);
+
+    let horizon = trace.total_duration();
+    let bin = BandwidthTimeline::default_bin_width();
+    let mut to_ssd =
+        BandwidthTimeline::new(config.evict_bytes_per_sec(Destination::Ssd), horizon, bin);
+    let mut to_host =
+        BandwidthTimeline::new(config.evict_bytes_per_sec(Destination::Host), horizon, bin);
+
+    let capacity = config.gpu_memory_bytes;
+    let nominal_dest = options.nominal_destination();
+
+    // Seed the lazy-greedy heap with every candidate whose inactive period is
+    // long enough to cover the round-trip migration and whose eviction would
+    // currently relieve pressure above the capacity limit.
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    for period in analysis.periods() {
+        if !options.allow_ssd && !options.allow_host {
+            break;
+        }
+        let cost = config.migration_cost(period.bytes, nominal_dest);
+        if period.length() <= cost {
+            continue;
+        }
+        let ranges = period.interior_ranges(n_kernels);
+        if ranges.is_empty() {
+            continue;
+        }
+        let benefit = pressure.reduction_above(&ranges, period.bytes, capacity);
+        if benefit <= 0.0 {
+            continue;
+        }
+        heap.push(Candidate {
+            score: benefit / cost.as_secs_f64().max(1e-12),
+            period: period.id,
+        });
+    }
+
+    let mut decisions = Vec::new();
+    while pressure.max_value() > capacity {
+        let Some(top) = heap.pop() else { break };
+        let period = analysis.period(top.period);
+        let ranges = period.interior_ranges(n_kernels);
+        let cost = config
+            .migration_cost(period.bytes, nominal_dest)
+            .as_secs_f64()
+            .max(1e-12);
+        let fresh_benefit = pressure.reduction_above(&ranges, period.bytes, capacity);
+        let fresh_score = fresh_benefit / cost;
+        if fresh_score <= 0.0 {
+            // Benefits only shrink, so this candidate is permanently useless.
+            continue;
+        }
+        if let Some(next) = heap.peek() {
+            if fresh_score + 1e-12 < next.score {
+                heap.push(Candidate {
+                    score: fresh_score,
+                    period: top.period,
+                });
+                continue;
+            }
+        }
+
+        // Candidate accepted: pick the destination (Algorithm 1, lines 7–17).
+        let t_r = period.start_time;
+        let destination = {
+            let ssd_window = config.evict_time(period.bytes, Destination::Ssd);
+            let host_fits = options.allow_host
+                && host_occupancy.fits_extra(&ranges, period.bytes, config.host_memory_bytes);
+            if options.allow_ssd {
+                if to_ssd.is_saturated(period.bytes, t_r, ssd_window) && host_fits {
+                    Destination::Host
+                } else {
+                    Destination::Ssd
+                }
+            } else if host_fits {
+                Destination::Host
+            } else {
+                // Host-only planning with no host room left: skip.
+                continue;
+            }
+        };
+
+        let evict_complete = match destination {
+            Destination::Ssd => to_ssd.reserve(period.bytes, t_r),
+            Destination::Host => {
+                host_occupancy.add(&ranges, period.bytes as i64);
+                to_host.reserve(period.bytes, t_r)
+            }
+        };
+        pressure.add(&ranges, -(period.bytes as i64));
+        decisions.push(EvictionDecision {
+            period: period.id,
+            tensor: period.tensor,
+            bytes: period.bytes,
+            destination,
+            evict_kernel: period.start_kernel,
+            evict_start: t_r,
+            evict_complete,
+        });
+    }
+
+    EvictionSchedule {
+        decisions,
+        pressure,
+        host_occupancy,
+        to_ssd,
+        to_host,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g10_dnn::cost::GpuCostModel;
+    use g10_dnn::models::{build_model, ModelKind};
+
+    fn setup(gpu_bytes: u64) -> (VitalityAnalysis, KernelTrace, SystemConfig) {
+        let graph = build_model(ModelKind::TinyCnn, 64);
+        let trace = KernelTrace::profile(&graph, &GpuCostModel::a100());
+        let analysis = VitalityAnalysis::analyze(&graph, &trace);
+        let config = SystemConfig::table2().with_gpu_memory(gpu_bytes);
+        (analysis, trace, config)
+    }
+
+    #[test]
+    fn no_evictions_when_memory_is_plentiful() {
+        let (analysis, trace, config) = setup(1 << 40);
+        let schedule = schedule_evictions(&analysis, &trace, &config, EvictionOptions::both());
+        assert!(schedule.decisions.is_empty());
+        assert_eq!(schedule.planned_peak_pressure(), analysis.peak_live_bytes());
+    }
+
+    #[test]
+    fn evictions_reduce_peak_pressure_under_a_small_gpu() {
+        let (analysis, trace, config) = setup(64 << 20);
+        assert!(analysis.peak_live_bytes() > config.gpu_memory_bytes);
+        let schedule = schedule_evictions(&analysis, &trace, &config, EvictionOptions::both());
+        assert!(!schedule.decisions.is_empty());
+        assert!(schedule.planned_peak_pressure() < analysis.peak_live_bytes());
+        // Every decision respects its period's timing.
+        for d in &schedule.decisions {
+            let p = analysis.period(d.period);
+            assert_eq!(d.tensor, p.tensor);
+            assert_eq!(d.evict_start, p.start_time);
+            assert!(d.evict_complete >= d.evict_start);
+        }
+    }
+
+    #[test]
+    fn no_tensor_is_evicted_twice_in_the_same_period() {
+        let (analysis, trace, config) = setup(64 << 20);
+        let schedule = schedule_evictions(&analysis, &trace, &config, EvictionOptions::both());
+        let mut seen = std::collections::HashSet::new();
+        for d in &schedule.decisions {
+            assert!(seen.insert(d.period), "period scheduled twice");
+        }
+    }
+
+    #[test]
+    fn gds_only_never_uses_host_memory() {
+        let (analysis, trace, config) = setup(64 << 20);
+        let schedule = schedule_evictions(&analysis, &trace, &config, EvictionOptions::ssd_only());
+        assert!(!schedule.decisions.is_empty());
+        assert_eq!(schedule.host_bytes(), 0);
+        assert_eq!(schedule.host_occupancy.max_value(), 0);
+    }
+
+    #[test]
+    fn host_traffic_appears_when_the_ssd_channel_saturates() {
+        // Shrink the SSD bandwidth so the planner is forced to spill to host.
+        let (analysis, trace, mut config) = setup(48 << 20);
+        config = config.with_ssd_bandwidth(50e6);
+        let schedule = schedule_evictions(&analysis, &trace, &config, EvictionOptions::both());
+        assert!(
+            schedule.host_bytes() > 0,
+            "a saturated SSD channel should push evictions to host memory"
+        );
+    }
+
+    #[test]
+    fn host_occupancy_respects_the_host_capacity() {
+        let (analysis, trace, mut config) = setup(48 << 20);
+        config = config.with_ssd_bandwidth(50e6).with_host_memory(32 << 20);
+        let schedule = schedule_evictions(&analysis, &trace, &config, EvictionOptions::both());
+        assert!(schedule.host_occupancy.max_value() <= config.host_memory_bytes);
+    }
+
+    #[test]
+    fn decisions_prefer_long_beneficial_periods_first() {
+        let (analysis, trace, config) = setup(64 << 20);
+        let schedule = schedule_evictions(&analysis, &trace, &config, EvictionOptions::both());
+        assert!(schedule.decisions.len() >= 2);
+        // The first selected candidate must have at least as large an initial
+        // benefit/cost score as the second (greedy order).
+        let durations: Vec<Nanos> = (0..trace.len())
+            .map(|k| trace.duration(KernelId::new(k as u32)))
+            .collect();
+        let fresh = MemoryTimeline::new(analysis.live_bytes(), &durations);
+        let score = |d: &EvictionDecision| {
+            let p = analysis.period(d.period);
+            fresh.reduction_above(
+                &p.interior_ranges(trace.len()),
+                p.bytes,
+                config.gpu_memory_bytes,
+            ) / config
+                .migration_cost(p.bytes, Destination::Ssd)
+                .as_secs_f64()
+        };
+        assert!(score(&schedule.decisions[0]) + 1e-9 >= score(&schedule.decisions[1]));
+    }
+}

@@ -1,0 +1,59 @@
+//! G10 core: compile-time smart tensor migration planning.
+//!
+//! This crate implements the paper's primary contribution — the tensor
+//! vitality analyzer and the smart tensor migration scheduler (§4.2–§4.4 of
+//! the paper) — as a library that takes a DNN training dataflow graph plus a
+//! profiled kernel trace and produces a [`plan::MigrationPlan`]: the set of
+//! `g10_pre_evict` / `g10_prefetch` / `g10_alloc` / `g10_free` instructions
+//! that the runtime (or, here, the replay simulator in `g10-sim`) executes.
+//!
+//! * [`config`] — the system configuration of Table 2 (GPU / host / SSD
+//!   capacities, bandwidths and latencies), with helpers for every
+//!   sensitivity sweep in §7.
+//! * [`vitality`] — the tensor vitality analyzer: births, deaths, global vs
+//!   intermediate classification and inactive periods.
+//! * [`pressure`] — the GPU memory-pressure timeline (and the host-memory
+//!   occupancy timeline) the eviction algorithm maintains.
+//! * [`bandwidth`] — binned bandwidth-reservation timelines for the GPU–SSD
+//!   and GPU–host channels ("is the SSD traffic full during [t, t+s]?").
+//! * [`eviction`] — Algorithm 1: iterative benefit/cost candidate selection
+//!   with destination choice.
+//! * [`prefetch`] — latest-safe prefetch times plus the eager prefetch
+//!   rescheduling of §4.4.
+//! * [`plan`] — the migration plan data structure keyed by kernel index.
+//! * [`instrument`] — renders the instrumented GPU program of Figure 9.
+//! * [`scheduler`] — [`scheduler::G10Scheduler`], the top-level API tying
+//!   everything together, with the G10 / G10-GDS / G10-Host variants.
+//!
+//! # Example
+//!
+//! ```
+//! use g10_core::config::SystemConfig;
+//! use g10_core::scheduler::{G10Scheduler, SchedulerVariant};
+//! use g10_dnn::cost::GpuCostModel;
+//! use g10_dnn::models::{build_model, ModelKind};
+//! use g10_dnn::trace::KernelTrace;
+//!
+//! let graph = build_model(ModelKind::TinyCnn, 64);
+//! let trace = KernelTrace::profile(&graph, &GpuCostModel::a100());
+//! // A deliberately small GPU so that planning has work to do.
+//! let config = SystemConfig::table2().with_gpu_memory(64 << 20);
+//! let scheduler = G10Scheduler::new(config, SchedulerVariant::Full);
+//! let plan = scheduler.plan(&graph, &trace);
+//! assert!(plan.eviction_count() > 0);
+//! ```
+
+pub mod bandwidth;
+pub mod config;
+pub mod eviction;
+pub mod instrument;
+pub mod plan;
+pub mod prefetch;
+pub mod pressure;
+pub mod scheduler;
+pub mod vitality;
+
+pub use config::SystemConfig;
+pub use plan::{Instruction, MigrationPlan};
+pub use scheduler::{G10Scheduler, SchedulerVariant};
+pub use vitality::{InactivePeriod, VitalityAnalysis};

@@ -1,0 +1,218 @@
+//! Memory-pressure timelines.
+//!
+//! The eviction algorithm (§4.3) tracks the estimated GPU memory pressure —
+//! the total size of non-evicted live tensors — as a step function over the
+//! kernels of the iteration, and equivalently tracks how much host memory
+//! its decisions have consumed over time.  Both are instances of
+//! [`MemoryTimeline`]: one value per kernel plus the kernel durations, so
+//! "area above the capacity limit" (the benefit measure of Figure 7) can be
+//! computed in byte·seconds.
+
+use g10_time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A per-kernel memory-occupancy step function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryTimeline {
+    values: Vec<i64>,
+    durations: Vec<Nanos>,
+}
+
+impl MemoryTimeline {
+    /// Creates a timeline from initial per-kernel occupancy and kernel
+    /// durations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths.
+    pub fn new(values: &[u64], durations: &[Nanos]) -> Self {
+        assert_eq!(values.len(), durations.len(), "one value per kernel required");
+        MemoryTimeline {
+            values: values.iter().map(|v| *v as i64).collect(),
+            durations: durations.to_vec(),
+        }
+    }
+
+    /// Creates an all-zero timeline over the given kernel durations (used
+    /// for host-memory occupancy, which starts empty).
+    pub fn zeroed(durations: &[Nanos]) -> Self {
+        MemoryTimeline {
+            values: vec![0; durations.len()],
+            durations: durations.to_vec(),
+        }
+    }
+
+    /// Number of kernels covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the timeline covers no kernels.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Occupancy at one kernel, clamped at zero.
+    pub fn value(&self, kernel: usize) -> u64 {
+        self.values[kernel].max(0) as u64
+    }
+
+    /// All per-kernel occupancies, clamped at zero.
+    pub fn values(&self) -> Vec<u64> {
+        self.values.iter().map(|v| (*v).max(0) as u64).collect()
+    }
+
+    /// The peak occupancy across the whole iteration.
+    pub fn max_value(&self) -> u64 {
+        self.values.iter().copied().max().unwrap_or(0).max(0) as u64
+    }
+
+    /// The peak occupancy inside the given half-open kernel ranges.
+    pub fn max_in(&self, ranges: &[(usize, usize)]) -> u64 {
+        let mut max = 0i64;
+        for &(lo, hi) in ranges {
+            for k in lo..hi.min(self.values.len()) {
+                max = max.max(self.values[k]);
+            }
+        }
+        max.max(0) as u64
+    }
+
+    /// Adds `delta` bytes to every kernel inside the given half-open ranges
+    /// (negative deltas model evictions).
+    pub fn add(&mut self, ranges: &[(usize, usize)], delta: i64) {
+        for &(lo, hi) in ranges {
+            for k in lo..hi.min(self.values.len()) {
+                self.values[k] += delta;
+            }
+        }
+    }
+
+    /// Total byte·seconds by which the timeline exceeds `capacity`.
+    pub fn area_above(&self, capacity: u64) -> f64 {
+        let cap = capacity as i64;
+        self.values
+            .iter()
+            .zip(&self.durations)
+            .map(|(v, d)| ((v - cap).max(0) as f64) * d.as_secs_f64())
+            .sum()
+    }
+
+    /// The benefit (in byte·seconds) of removing `bytes` from the timeline
+    /// over the given ranges: only the part of the occupancy *above*
+    /// `capacity` counts, exactly as in Figure 7(2) of the paper.
+    pub fn reduction_above(&self, ranges: &[(usize, usize)], bytes: u64, capacity: u64) -> f64 {
+        let cap = capacity as i64;
+        let bytes = bytes as i64;
+        let mut area = 0.0;
+        for &(lo, hi) in ranges {
+            for k in lo..hi.min(self.values.len()) {
+                let over = (self.values[k] - cap).max(0);
+                let removed = over.min(bytes);
+                if removed > 0 {
+                    area += removed as f64 * self.durations[k].as_secs_f64();
+                }
+            }
+        }
+        area
+    }
+
+    /// Returns `true` if adding `bytes` to every kernel in the given ranges
+    /// keeps the occupancy at or below `capacity` (used by both the host
+    /// destination check and the eager-prefetch search).
+    pub fn fits_extra(&self, ranges: &[(usize, usize)], bytes: u64, capacity: u64) -> bool {
+        let cap = capacity as i64;
+        let bytes = bytes as i64;
+        for &(lo, hi) in ranges {
+            for k in lo..hi.min(self.values.len()) {
+                if self.values[k] + bytes > cap {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The per-kernel durations backing the timeline.
+    pub fn durations(&self) -> &[Nanos] {
+        &self.durations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline() -> MemoryTimeline {
+        let durations = vec![Nanos::from_micros(10); 6];
+        MemoryTimeline::new(&[10, 50, 90, 90, 40, 10], &durations)
+    }
+
+    #[test]
+    fn peak_and_per_kernel_queries() {
+        let t = timeline();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.max_value(), 90);
+        assert_eq!(t.value(0), 10);
+        assert_eq!(t.max_in(&[(0, 2)]), 50);
+        assert_eq!(t.max_in(&[(4, 6)]), 40);
+        assert_eq!(t.max_in(&[]), 0);
+    }
+
+    #[test]
+    fn add_and_clamp() {
+        let mut t = timeline();
+        t.add(&[(1, 4)], -60);
+        assert_eq!(t.value(1), 0); // clamped view of -10
+        assert_eq!(t.value(2), 30);
+        assert_eq!(t.value(4), 40); // outside the range, unchanged
+        t.add(&[(1, 4)], 60);
+        assert_eq!(t.values(), vec![10, 50, 90, 90, 40, 10]);
+    }
+
+    #[test]
+    fn area_above_counts_only_overflow() {
+        let t = timeline();
+        // Capacity 60: kernels 2 and 3 exceed it by 30 each, for 10 µs each.
+        let expected = 2.0 * 30.0 * 10e-6;
+        assert!((t.area_above(60) - expected).abs() < 1e-12);
+        assert_eq!(t.area_above(1000), 0.0);
+    }
+
+    #[test]
+    fn reduction_above_saturates_at_the_overflow() {
+        let t = timeline();
+        // Removing 100 bytes only earns credit for the 30 above capacity.
+        let r = t.reduction_above(&[(2, 4)], 100, 60);
+        assert!((r - 2.0 * 30.0 * 10e-6).abs() < 1e-12);
+        // Removing 10 bytes earns exactly 10 per kernel.
+        let r = t.reduction_above(&[(2, 4)], 10, 60);
+        assert!((r - 2.0 * 10.0 * 10e-6).abs() < 1e-12);
+        // No credit below capacity.
+        assert_eq!(t.reduction_above(&[(0, 1)], 100, 60), 0.0);
+    }
+
+    #[test]
+    fn fits_extra_checks_every_kernel_in_range() {
+        let t = timeline();
+        assert!(t.fits_extra(&[(0, 2)], 40, 90));
+        assert!(!t.fits_extra(&[(0, 3)], 40, 90));
+        assert!(t.fits_extra(&[], 1_000_000, 0));
+    }
+
+    #[test]
+    fn zeroed_timeline_starts_empty() {
+        let t = MemoryTimeline::zeroed(&[Nanos::from_micros(5); 4]);
+        assert_eq!(t.max_value(), 0);
+        assert!(!t.is_empty());
+        assert_eq!(t.durations().len(), 4);
+    }
+
+    #[test]
+    fn ranges_past_the_end_are_clipped() {
+        let mut t = timeline();
+        t.add(&[(4, 100)], 5);
+        assert_eq!(t.value(5), 15);
+        assert_eq!(t.max_in(&[(5, 100)]), 15);
+    }
+}

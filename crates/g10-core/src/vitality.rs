@@ -1,0 +1,381 @@
+//! Tensor vitality analysis (§4.2 of the paper).
+//!
+//! The analyzer walks the dataflow graph once and derives, for every tensor:
+//! its classification (global vs intermediate), its birth and death kernels,
+//! the complete list of kernels that use it, and every *inactive period* —
+//! an interval between two consecutive uses during which the tensor could
+//! safely live in host memory or on the SSD.  Global tensors additionally
+//! get a wrap-around period spanning from their last use in one iteration to
+//! their first use in the next.
+
+use g10_dnn::graph::{DnnGraph, KernelId};
+use g10_dnn::tensor::{TensorId, TensorKind};
+use g10_dnn::trace::KernelTrace;
+use g10_time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one inactive period inside a [`VitalityAnalysis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeriodId(pub usize);
+
+impl PeriodId {
+    /// Raw index into [`VitalityAnalysis::periods`].
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Lifetime facts about one tensor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorLifetime {
+    /// The tensor.
+    pub tensor: TensorId,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Its semantic kind.
+    pub kind: TensorKind,
+    /// `true` for weights / optimizer state (live across iterations).
+    pub is_global: bool,
+    /// First kernel that uses the tensor (its birth for intermediates).
+    pub first_use: KernelId,
+    /// Last kernel that uses the tensor (its death for intermediates).
+    pub last_use: KernelId,
+    /// Every kernel that uses the tensor, in execution order.
+    pub uses: Vec<KernelId>,
+}
+
+impl TensorLifetime {
+    /// Number of kernels that touch the tensor.
+    pub fn use_count(&self) -> usize {
+        self.uses.len()
+    }
+}
+
+/// One tensor inactive period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InactivePeriod {
+    /// This period's id.
+    pub id: PeriodId,
+    /// The tensor that is inactive.
+    pub tensor: TensorId,
+    /// Size of the tensor in bytes.
+    pub bytes: u64,
+    /// The kernel after which the tensor becomes inactive.
+    pub start_kernel: KernelId,
+    /// The kernel at which the tensor must be back in GPU memory.
+    pub end_kernel: KernelId,
+    /// Time at which the period starts (end of `start_kernel` in the ideal
+    /// schedule).
+    pub start_time: Nanos,
+    /// Time at which the period ends (start of `end_kernel`).  For
+    /// wrap-around periods this is expressed in the *next* iteration, i.e.
+    /// it exceeds the iteration length.
+    pub end_time: Nanos,
+    /// `true` for the cross-iteration period of a global tensor.
+    pub wraps_iteration: bool,
+}
+
+impl InactivePeriod {
+    /// Length of the period in the ideal schedule.
+    pub fn length(&self) -> Nanos {
+        self.end_time.saturating_sub(self.start_time)
+    }
+
+    /// The kernel-index ranges (half-open, in execution order) during which
+    /// the tensor does not need to be resident.  Ordinary periods yield one
+    /// range; wrap-around periods yield up to two (tail of this iteration
+    /// and head of the next).
+    pub fn interior_ranges(&self, num_kernels: usize) -> Vec<(usize, usize)> {
+        let mut ranges = Vec::new();
+        if self.wraps_iteration {
+            let tail = (self.start_kernel.index() + 1, num_kernels);
+            if tail.0 < tail.1 {
+                ranges.push(tail);
+            }
+            let head = (0, self.end_kernel.index());
+            if head.0 < head.1 {
+                ranges.push(head);
+            }
+        } else {
+            let range = (self.start_kernel.index() + 1, self.end_kernel.index());
+            if range.0 < range.1 {
+                ranges.push(range);
+            }
+        }
+        ranges
+    }
+}
+
+/// The result of analysing one training-iteration graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VitalityAnalysis {
+    lifetimes: Vec<TensorLifetime>,
+    periods: Vec<InactivePeriod>,
+    live_bytes: Vec<u64>,
+    iteration_time: Nanos,
+}
+
+impl VitalityAnalysis {
+    /// Analyses a graph under the given kernel trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace length does not match the graph's kernel count.
+    pub fn analyze(graph: &DnnGraph, trace: &KernelTrace) -> Self {
+        assert_eq!(
+            trace.len(),
+            graph.num_kernels(),
+            "trace must cover every kernel of the graph"
+        );
+        let n_kernels = graph.num_kernels();
+        let uses = graph.tensor_use_sites();
+
+        let mut lifetimes = Vec::with_capacity(graph.num_tensors());
+        let mut periods = Vec::new();
+        let mut live_delta = vec![0i64; n_kernels + 1];
+
+        for tensor in graph.tensors() {
+            let sites = &uses[tensor.id().index()];
+            if sites.is_empty() {
+                continue;
+            }
+            let is_global = tensor.is_global();
+            let first_use = sites[0];
+            let last_use = sites[sites.len() - 1];
+            lifetimes.push(TensorLifetime {
+                tensor: tensor.id(),
+                bytes: tensor.bytes(),
+                kind: tensor.kind(),
+                is_global,
+                first_use,
+                last_use,
+                uses: sites.clone(),
+            });
+
+            // Live-bytes contribution (no evictions): globals are always
+            // live, intermediates from birth to death.
+            let (birth, death) = if is_global {
+                (0usize, n_kernels - 1)
+            } else {
+                (first_use.index(), last_use.index())
+            };
+            live_delta[birth] += tensor.bytes() as i64;
+            live_delta[death + 1] -= tensor.bytes() as i64;
+
+            // Inactive periods between consecutive uses.
+            for window in sites.windows(2) {
+                let (prev, next) = (window[0], window[1]);
+                if next.index() <= prev.index() + 1 {
+                    continue;
+                }
+                let start_time = trace.end_time(prev);
+                let end_time = trace.start_time(next);
+                if end_time <= start_time {
+                    continue;
+                }
+                periods.push(InactivePeriod {
+                    id: PeriodId(periods.len()),
+                    tensor: tensor.id(),
+                    bytes: tensor.bytes(),
+                    start_kernel: prev,
+                    end_kernel: next,
+                    start_time,
+                    end_time,
+                    wraps_iteration: false,
+                });
+            }
+
+            // Wrap-around period for global tensors.
+            if is_global {
+                let start_time = trace.end_time(last_use);
+                let end_time = trace.total_duration() + trace.start_time(first_use);
+                if end_time > start_time {
+                    periods.push(InactivePeriod {
+                        id: PeriodId(periods.len()),
+                        tensor: tensor.id(),
+                        bytes: tensor.bytes(),
+                        start_kernel: last_use,
+                        end_kernel: first_use,
+                        start_time,
+                        end_time,
+                        wraps_iteration: true,
+                    });
+                }
+            }
+        }
+
+        let mut live_bytes = Vec::with_capacity(n_kernels);
+        let mut running = 0i64;
+        for delta in live_delta.iter().take(n_kernels) {
+            running += delta;
+            live_bytes.push(running.max(0) as u64);
+        }
+
+        VitalityAnalysis {
+            lifetimes,
+            periods,
+            live_bytes,
+            iteration_time: trace.total_duration(),
+        }
+    }
+
+    /// Lifetime facts for every used tensor.
+    pub fn lifetimes(&self) -> &[TensorLifetime] {
+        &self.lifetimes
+    }
+
+    /// Lifetime facts for one tensor, if it is used at all.
+    pub fn lifetime(&self, tensor: TensorId) -> Option<&TensorLifetime> {
+        self.lifetimes.iter().find(|l| l.tensor == tensor)
+    }
+
+    /// Every inactive period, indexable by [`PeriodId`].
+    pub fn periods(&self) -> &[InactivePeriod] {
+        &self.periods
+    }
+
+    /// One period by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this analysis.
+    pub fn period(&self, id: PeriodId) -> &InactivePeriod {
+        &self.periods[id.index()]
+    }
+
+    /// Per-kernel live bytes assuming nothing is ever evicted (the initial
+    /// GPU memory-pressure curve).
+    pub fn live_bytes(&self) -> &[u64] {
+        &self.live_bytes
+    }
+
+    /// Peak of the no-eviction pressure curve.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.live_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Length of one iteration in the ideal schedule.
+    pub fn iteration_time(&self) -> Nanos {
+        self.iteration_time
+    }
+
+    /// Kernel at which each intermediate tensor should be allocated and the
+    /// kernel after which it can be freed, as (birth, death) pairs; global
+    /// tensors report the full iteration.
+    pub fn allocation_window(&self, tensor: TensorId) -> Option<(KernelId, KernelId)> {
+        self.lifetime(tensor).map(|l| {
+            if l.is_global {
+                (KernelId::new(0), KernelId::new((self.live_bytes.len() - 1) as u32))
+            } else {
+                (l.first_use, l.last_use)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g10_dnn::cost::GpuCostModel;
+    use g10_dnn::models::{build_model, ModelKind};
+
+    fn analysis() -> (DnnGraph, KernelTrace, VitalityAnalysis) {
+        let graph = build_model(ModelKind::TinyCnn, 8);
+        let trace = KernelTrace::profile(&graph, &GpuCostModel::a100());
+        let a = VitalityAnalysis::analyze(&graph, &trace);
+        (graph, trace, a)
+    }
+
+    #[test]
+    fn every_used_tensor_has_a_lifetime() {
+        let (graph, _, a) = analysis();
+        assert_eq!(a.lifetimes().len(), graph.num_tensors());
+        for lt in a.lifetimes() {
+            assert!(!lt.uses.is_empty());
+            assert!(lt.first_use <= lt.last_use);
+            assert_eq!(lt.uses[0], lt.first_use);
+            assert_eq!(*lt.uses.last().unwrap(), lt.last_use);
+        }
+    }
+
+    #[test]
+    fn live_bytes_match_the_characterisation_module() {
+        let (graph, _, a) = analysis();
+        let mc = g10_dnn::stats::memory_consumption(&graph);
+        assert_eq!(a.live_bytes(), mc.live_bytes.as_slice());
+        assert_eq!(a.peak_live_bytes(), mc.peak_live_bytes());
+    }
+
+    #[test]
+    fn periods_are_consistent() {
+        let (graph, trace, a) = analysis();
+        assert!(!a.periods().is_empty());
+        for (idx, p) in a.periods().iter().enumerate() {
+            assert_eq!(p.id.index(), idx);
+            assert!(p.length() > Nanos::ZERO);
+            if !p.wraps_iteration {
+                assert!(p.end_kernel.index() > p.start_kernel.index() + 1);
+                assert!(p.end_time <= trace.total_duration());
+            } else {
+                assert!(graph.tensor(p.tensor).is_global());
+                assert!(p.end_time >= trace.total_duration());
+            }
+            for (lo, hi) in p.interior_ranges(graph.num_kernels()) {
+                assert!(lo < hi && hi <= graph.num_kernels());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_activations_have_long_periods() {
+        let (graph, _, a) = analysis();
+        // An early-layer activation must stay inactive for most of the
+        // iteration (forward use, then backward use near the end).
+        let early_act = graph
+            .tensors()
+            .iter()
+            .find(|t| t.name() == "stem.relu.out")
+            .expect("stem relu output exists")
+            .id();
+        let period = a
+            .periods()
+            .iter()
+            .filter(|p| p.tensor == early_act)
+            .max_by_key(|p| p.length())
+            .expect("activation must have an inactive period");
+        assert!(period.length().as_secs_f64() > 0.3 * a.iteration_time().as_secs_f64());
+    }
+
+    #[test]
+    fn weights_have_wraparound_periods() {
+        let (graph, _, a) = analysis();
+        let n_weights = graph.tensors().iter().filter(|t| t.is_global()).count();
+        let n_wraps = a.periods().iter().filter(|p| p.wraps_iteration).count();
+        assert!(n_wraps > 0);
+        assert!(n_wraps <= n_weights);
+    }
+
+    #[test]
+    fn allocation_windows_are_ordered() {
+        let (graph, _, a) = analysis();
+        for t in graph.tensors() {
+            let (birth, death) = a.allocation_window(t.id()).unwrap();
+            assert!(birth <= death);
+        }
+    }
+
+    #[test]
+    fn a_larger_model_produces_more_periods() {
+        let small = {
+            let g = build_model(ModelKind::TinyCnn, 8);
+            let t = KernelTrace::profile(&g, &GpuCostModel::a100());
+            VitalityAnalysis::analyze(&g, &t).periods().len()
+        };
+        let large = {
+            let g = build_model(ModelKind::TinyTransformer, 8);
+            let t = KernelTrace::profile(&g, &GpuCostModel::a100());
+            VitalityAnalysis::analyze(&g, &t).periods().len()
+        };
+        assert!(small > 0 && large > 0);
+    }
+}

@@ -1,0 +1,1016 @@
+//! Layer-level graph builder.
+//!
+//! Model descriptions in [`crate::models`] are written as *forward passes*:
+//! a sequence of layer calls (`conv2d`, `batch_norm`, `linear`, …) very much
+//! like a PyTorch `forward()` method.  The [`GraphBuilder`] records each
+//! layer, and [`GraphBuilder::finish`] then materialises the full training
+//! iteration the way a framework would:
+//!
+//! 1. the forward kernels in call order,
+//! 2. a loss / gradient-seed kernel,
+//! 3. the backward kernels in reverse order (with separate data-gradient and
+//!    weight-gradient kernels for convolutions and GEMMs, the way cuDNN /
+//!    cuBLAS split them),
+//! 4. one optimizer (SGD-with-momentum) kernel per parameterised layer.
+//!
+//! The resulting [`DnnGraph`] exhibits the tensor-lifetime structure that the
+//! G10 paper's characterisation study (§3) relies on: forward activations are
+//! used once early and once again much later in the backward pass, weights
+//! are used in forward, backward and optimizer, and workspaces live for a
+//! single kernel.
+
+use crate::graph::DnnGraph;
+use crate::op::{
+    conv2d_cost, elementwise_cost, embedding_cost, gemm_cost, normalization_cost, optimizer_cost,
+    pooling_cost, softmax_cost, KernelClass, OpCost,
+};
+use crate::shape::{FeatureMap, SeqShape};
+use crate::tensor::{fp32_bytes, TensorId, TensorKind};
+
+/// Maximum size of a single cuDNN-style convolution workspace.  The paper's
+/// instrumented-program example (Fig. 9) shows a ~4.1 GB workspace tensor;
+/// we cap ours at 2 GiB which keeps the same order of magnitude without
+/// letting synthetic workspaces dominate peak memory.
+const MAX_WORKSPACE_BYTES: u64 = 2 << 30;
+
+/// Shape attached to an activation handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActShape {
+    /// A 4-D feature map (CNNs).
+    Map(FeatureMap),
+    /// A token sequence (transformers).
+    Seq(SeqShape),
+    /// A flat 2-D matrix `n × features` (classifier heads, SE blocks).
+    Flat {
+        /// Batch size.
+        n: u64,
+        /// Feature count per sample.
+        features: u64,
+    },
+}
+
+impl ActShape {
+    /// Total number of elements.
+    pub fn elements(&self) -> u64 {
+        match *self {
+            ActShape::Map(m) => m.elements(),
+            ActShape::Seq(s) => s.elements(),
+            ActShape::Flat { n, features } => n * features,
+        }
+    }
+
+    /// Size in bytes at FP32 precision.
+    pub fn bytes(&self) -> u64 {
+        fp32_bytes(self.elements())
+    }
+
+    /// Batch dimension.
+    pub fn batch(&self) -> u64 {
+        match *self {
+            ActShape::Map(m) => m.n,
+            ActShape::Seq(s) => s.n,
+            ActShape::Flat { n, .. } => n,
+        }
+    }
+}
+
+/// Handle to an activation produced by a layer call.
+///
+/// The handle is cheap to copy and is how model code wires layers together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Act {
+    tensor: TensorId,
+    shape: ActShape,
+}
+
+impl Act {
+    /// The underlying tensor id in the graph being built.
+    pub fn tensor(&self) -> TensorId {
+        self.tensor
+    }
+
+    /// The activation's shape.
+    pub fn shape(&self) -> ActShape {
+        self.shape
+    }
+
+    /// The feature-map shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activation is not a feature map.
+    pub fn map(&self) -> FeatureMap {
+        match self.shape {
+            ActShape::Map(m) => m,
+            other => panic!("expected feature-map activation, found {other:?}"),
+        }
+    }
+
+    /// The sequence shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activation is not a token sequence.
+    pub fn seq(&self) -> SeqShape {
+        match self.shape {
+            ActShape::Seq(s) => s,
+            other => panic!("expected sequence activation, found {other:?}"),
+        }
+    }
+}
+
+/// One recorded forward layer, with everything needed to derive its backward
+/// kernels later.
+#[derive(Debug, Clone)]
+struct LayerRecord {
+    name: String,
+    class: KernelClass,
+    weights: Vec<TensorId>,
+    act_inputs: Vec<TensorId>,
+    output: TensorId,
+    output_bytes: u64,
+    fwd_cost: OpCost,
+    bwd_data_cost: OpCost,
+    bwd_weight_cost: Option<OpCost>,
+    /// Backward reads the saved forward inputs.
+    saves_input: bool,
+    /// Backward reads the saved forward output (e.g. ReLU, softmax).
+    saves_output: bool,
+    /// Whether gradients flow to the activation inputs of this layer.
+    produces_input_grads: bool,
+    /// Per-kernel scratch space (forward and backward each allocate one).
+    workspace_bytes: u64,
+}
+
+/// Builds a [`DnnGraph`] for a full training iteration from a forward-pass
+/// description.
+///
+/// # Example
+///
+/// ```
+/// use g10_dnn::builder::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new("toy-cnn", 8);
+/// let x = b.input_image(3, 32, 32);
+/// let c = b.conv2d("conv1", &x, 16, 3, 1, 1);
+/// let r = b.relu("relu1", &c);
+/// let p = b.global_avg_pool("pool", &r);
+/// let y = b.linear("fc", &p, 10);
+/// let graph = b.finish(&y);
+/// assert!(graph.validate().is_ok());
+/// // forward + loss + backward + optimizer kernels all present
+/// assert!(graph.num_kernels() > 8);
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: DnnGraph,
+    batch: u64,
+    records: Vec<LayerRecord>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a model with the given name and batch size.
+    pub fn new(name: impl Into<String>, batch: u64) -> Self {
+        GraphBuilder {
+            graph: DnnGraph::with_batch_size(name, batch),
+            batch,
+            records: Vec::new(),
+        }
+    }
+
+    /// The batch size this builder was created with.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    fn add_activation(&mut self, name: &str, shape: ActShape) -> Act {
+        let tensor = self
+            .graph
+            .add_tensor(TensorKind::Activation, shape.bytes(), name);
+        Act { tensor, shape }
+    }
+
+    fn add_weight(&mut self, name: &str, bytes: u64) -> TensorId {
+        self.graph.add_tensor(TensorKind::Weight, bytes, name)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        name: &str,
+        class: KernelClass,
+        weights: Vec<TensorId>,
+        act_inputs: Vec<TensorId>,
+        output: Act,
+        fwd_cost: OpCost,
+        bwd_data_cost: OpCost,
+        bwd_weight_cost: Option<OpCost>,
+        saves_input: bool,
+        saves_output: bool,
+        produces_input_grads: bool,
+        workspace_bytes: u64,
+    ) -> Act {
+        self.records.push(LayerRecord {
+            name: name.to_string(),
+            class,
+            weights,
+            act_inputs,
+            output: output.tensor,
+            output_bytes: output.shape.bytes(),
+            fwd_cost,
+            bwd_data_cost,
+            bwd_weight_cost,
+            saves_input,
+            saves_output,
+            produces_input_grads,
+            workspace_bytes,
+        });
+        output
+    }
+
+    // ------------------------------------------------------------------
+    // Inputs
+    // ------------------------------------------------------------------
+
+    /// Registers the input image batch `batch × c × h × w`.
+    pub fn input_image(&mut self, c: u64, h: u64, w: u64) -> Act {
+        let shape = ActShape::Map(FeatureMap::new(self.batch, c, h, w));
+        let tensor = self.graph.add_tensor(TensorKind::Input, shape.bytes(), "input");
+        Act { tensor, shape }
+    }
+
+    /// Registers a token-id input batch and an embedding lookup producing a
+    /// `batch × seq × hidden` sequence.
+    pub fn embedding(&mut self, name: &str, seq: u64, hidden: u64, vocab: u64) -> Act {
+        let ids_bytes = self.batch * seq * 4;
+        let ids = self
+            .graph
+            .add_tensor(TensorKind::Input, ids_bytes, format!("{name}.ids"));
+        let table = self.add_weight(&format!("{name}.weight"), fp32_bytes(vocab * hidden));
+        let out_shape = ActShape::Seq(SeqShape::new(self.batch, seq, hidden));
+        let out = self.add_activation(&format!("{name}.out"), out_shape);
+        let cost = embedding_cost(out_shape.elements());
+        self.record(
+            name,
+            KernelClass::Embedding,
+            vec![table],
+            vec![ids],
+            out,
+            cost,
+            cost,
+            Some(cost),
+            true,
+            false,
+            false, // no gradient flows back into token ids
+            0,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Convolutional layers
+    // ------------------------------------------------------------------
+
+    /// 2-D convolution with square kernel `k`, stride and group count.
+    pub fn conv2d(&mut self, name: &str, input: &Act, out_c: u64, k: u64, stride: u64, groups: u64) -> Act {
+        let in_map = input.map();
+        let out_map = in_map.conv_output(out_c, stride);
+        let weight_bytes = fp32_bytes(out_c * (in_map.c / groups.max(1)) * k * k);
+        let weight = self.add_weight(&format!("{name}.weight"), weight_bytes);
+        let out = self.add_activation(&format!("{name}.out"), ActShape::Map(out_map));
+        let fwd = conv2d_cost(
+            in_map.n, in_map.c, out_c, out_map.h, out_map.w, k, groups, in_map.h, in_map.w,
+        );
+        // Backward data and filter gradients each cost about as much as the
+        // forward pass.
+        let workspace = (out_map.bytes() + weight_bytes).min(MAX_WORKSPACE_BYTES);
+        self.record(
+            name,
+            KernelClass::Conv2d,
+            vec![weight],
+            vec![input.tensor],
+            out,
+            fwd,
+            fwd,
+            Some(fwd),
+            true,
+            false,
+            true,
+            workspace,
+        )
+    }
+
+    /// Batch normalisation over a feature map.
+    pub fn batch_norm(&mut self, name: &str, input: &Act) -> Act {
+        let map = input.map();
+        let scale = self.add_weight(&format!("{name}.weight"), fp32_bytes(map.c * 2));
+        let out = self.add_activation(&format!("{name}.out"), input.shape);
+        let cost = normalization_cost(map.elements());
+        self.record(
+            name,
+            KernelClass::BatchNorm,
+            vec![scale],
+            vec![input.tensor],
+            out,
+            cost,
+            cost,
+            None,
+            true,
+            false,
+            true,
+            0,
+        )
+    }
+
+    /// Max pooling with window `k` and the given stride.
+    pub fn max_pool(&mut self, name: &str, input: &Act, k: u64, stride: u64) -> Act {
+        let map = input.map();
+        let out_map = map.conv_output(map.c, stride);
+        let out = self.add_activation(&format!("{name}.out"), ActShape::Map(out_map));
+        let cost = pooling_cost(out_map.elements(), k);
+        self.record(
+            name,
+            KernelClass::Pooling,
+            vec![],
+            vec![input.tensor],
+            out,
+            cost,
+            cost,
+            None,
+            true,
+            false,
+            true,
+            0,
+        )
+    }
+
+    /// Average pooling with window `k` and the given stride.
+    pub fn avg_pool(&mut self, name: &str, input: &Act, k: u64, stride: u64) -> Act {
+        self.max_pool(name, input, k, stride)
+    }
+
+    /// Global average pooling collapsing the spatial dimensions; the result
+    /// is a flat `n × c` matrix ready for a classifier or SE block.
+    pub fn global_avg_pool(&mut self, name: &str, input: &Act) -> Act {
+        let map = input.map();
+        let out_shape = ActShape::Flat {
+            n: map.n,
+            features: map.c,
+        };
+        let out = self.add_activation(&format!("{name}.out"), out_shape);
+        let cost = pooling_cost(out_shape.elements(), map.h.max(1).min(16));
+        self.record(
+            name,
+            KernelClass::Pooling,
+            vec![],
+            vec![input.tensor],
+            out,
+            cost,
+            cost,
+            None,
+            true,
+            false,
+            true,
+            0,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Element-wise layers
+    // ------------------------------------------------------------------
+
+    fn activation_layer(&mut self, name: &str, input: &Act, class: KernelClass) -> Act {
+        let out = self.add_activation(&format!("{name}.out"), input.shape);
+        let cost = elementwise_cost(input.shape.elements(), 1);
+        self.record(
+            name,
+            class,
+            vec![],
+            vec![input.tensor],
+            out,
+            cost,
+            cost,
+            None,
+            false,
+            true,
+            true,
+            0,
+        )
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, name: &str, input: &Act) -> Act {
+        self.activation_layer(name, input, KernelClass::Elementwise)
+    }
+
+    /// GELU activation.
+    pub fn gelu(&mut self, name: &str, input: &Act) -> Act {
+        self.activation_layer(name, input, KernelClass::Elementwise)
+    }
+
+    /// Sigmoid activation (used by SE blocks).
+    pub fn sigmoid(&mut self, name: &str, input: &Act) -> Act {
+        self.activation_layer(name, input, KernelClass::Elementwise)
+    }
+
+    /// Element-wise residual addition of two activations with equal shape.
+    pub fn add(&mut self, name: &str, a: &Act, b: &Act) -> Act {
+        debug_assert_eq!(a.shape.bytes(), b.shape.bytes(), "residual add of mismatched shapes");
+        let out = self.add_activation(&format!("{name}.out"), a.shape);
+        let cost = elementwise_cost(a.shape.elements(), 2);
+        self.record(
+            name,
+            KernelClass::Elementwise,
+            vec![],
+            vec![a.tensor, b.tensor],
+            out,
+            cost,
+            cost,
+            None,
+            false,
+            false,
+            true,
+            0,
+        )
+    }
+
+    /// Channel-wise scaling of a feature map by a per-channel vector
+    /// (squeeze-and-excitation "excite" step).
+    pub fn scale(&mut self, name: &str, map_input: &Act, vector_input: &Act) -> Act {
+        let out = self.add_activation(&format!("{name}.out"), map_input.shape);
+        let cost = elementwise_cost(map_input.shape.elements(), 2);
+        self.record(
+            name,
+            KernelClass::Elementwise,
+            vec![],
+            vec![map_input.tensor, vector_input.tensor],
+            out,
+            cost,
+            cost,
+            None,
+            true,
+            false,
+            true,
+            0,
+        )
+    }
+
+    /// Channel concatenation of several feature maps (Inception branches).
+    pub fn concat(&mut self, name: &str, inputs: &[Act]) -> Act {
+        assert!(!inputs.is_empty(), "concat requires at least one input");
+        let first = inputs[0].map();
+        let total_c: u64 = inputs.iter().map(|a| a.map().c).sum();
+        let out_map = FeatureMap::new(first.n, total_c, first.h, first.w);
+        let out = self.add_activation(&format!("{name}.out"), ActShape::Map(out_map));
+        let cost = elementwise_cost(out_map.elements(), 1);
+        self.record(
+            name,
+            KernelClass::Elementwise,
+            vec![],
+            inputs.iter().map(|a| a.tensor).collect(),
+            out,
+            cost,
+            cost,
+            None,
+            false,
+            false,
+            true,
+            0,
+        )
+    }
+
+    /// Dropout producing a new activation (mask generation folded in).
+    pub fn dropout(&mut self, name: &str, input: &Act) -> Act {
+        self.activation_layer(name, input, KernelClass::Elementwise)
+    }
+
+    // ------------------------------------------------------------------
+    // Dense / transformer layers
+    // ------------------------------------------------------------------
+
+    /// Fully connected layer.  Works on flat activations (`n × features`) and
+    /// on sequences (`n × l × d`, applied to the last dimension).
+    pub fn linear(&mut self, name: &str, input: &Act, out_features: u64) -> Act {
+        let (rows, in_features, out_shape) = match input.shape {
+            ActShape::Flat { n, features } => (
+                n,
+                features,
+                ActShape::Flat {
+                    n,
+                    features: out_features,
+                },
+            ),
+            ActShape::Seq(s) => (
+                s.n * s.l,
+                s.d,
+                ActShape::Seq(s.with_hidden(out_features)),
+            ),
+            ActShape::Map(m) => (
+                m.n,
+                m.c * m.h * m.w,
+                ActShape::Flat {
+                    n: m.n,
+                    features: out_features,
+                },
+            ),
+        };
+        let weight = self.add_weight(
+            &format!("{name}.weight"),
+            fp32_bytes(in_features * out_features + out_features),
+        );
+        let out = self.add_activation(&format!("{name}.out"), out_shape);
+        let fwd = gemm_cost(rows, out_features, in_features);
+        self.record(
+            name,
+            KernelClass::Gemm,
+            vec![weight],
+            vec![input.tensor],
+            out,
+            fwd,
+            fwd,
+            Some(fwd),
+            true,
+            false,
+            true,
+            0,
+        )
+    }
+
+    /// Layer normalisation over the last dimension of a sequence.
+    pub fn layer_norm(&mut self, name: &str, input: &Act) -> Act {
+        let seq = input.seq();
+        let scale = self.add_weight(&format!("{name}.weight"), fp32_bytes(seq.d * 2));
+        let out = self.add_activation(&format!("{name}.out"), input.shape);
+        let cost = normalization_cost(seq.elements());
+        self.record(
+            name,
+            KernelClass::LayerNorm,
+            vec![scale],
+            vec![input.tensor],
+            out,
+            cost,
+            cost,
+            None,
+            true,
+            false,
+            true,
+            0,
+        )
+    }
+
+    /// Residual addition of two sequence activations.
+    pub fn add_seq(&mut self, name: &str, a: &Act, b: &Act) -> Act {
+        debug_assert_eq!(a.shape.bytes(), b.shape.bytes());
+        let out = self.add_activation(&format!("{name}.out"), a.shape);
+        let cost = elementwise_cost(a.shape.elements(), 2);
+        self.record(
+            name,
+            KernelClass::Elementwise,
+            vec![],
+            vec![a.tensor, b.tensor],
+            out,
+            cost,
+            cost,
+            None,
+            false,
+            false,
+            true,
+            0,
+        )
+    }
+
+    /// Batched attention-score matmul `Q·Kᵀ`, producing an `n × heads × l × l`
+    /// tensor.
+    pub fn attention_scores(&mut self, name: &str, q: &Act, k: &Act, heads: u64) -> Act {
+        let seq = q.seq();
+        let score_elems = seq.attention_score_elements(heads);
+        let out_shape = ActShape::Flat {
+            n: seq.n,
+            features: heads * seq.l * seq.l,
+        };
+        let out = self.add_activation(&format!("{name}.out"), out_shape);
+        // Each head multiplies (l × d/heads) by (d/heads × l).
+        let per_head = gemm_cost(seq.l, seq.l, seq.d / heads.max(1));
+        let fwd = per_head.scale((seq.n * heads) as f64);
+        debug_assert_eq!(out_shape.elements(), score_elems);
+        self.record(
+            name,
+            KernelClass::Gemm,
+            vec![],
+            vec![q.tensor, k.tensor],
+            out,
+            fwd,
+            fwd.scale(2.0),
+            None,
+            true,
+            false,
+            true,
+            0,
+        )
+    }
+
+    /// Batched attention-context matmul `softmax(S)·V`, producing a sequence
+    /// with the hidden size of `v`.
+    pub fn attention_context(&mut self, name: &str, scores: &Act, v: &Act, heads: u64) -> Act {
+        let seq = v.seq();
+        let out = self.add_activation(&format!("{name}.out"), ActShape::Seq(seq));
+        let per_head = gemm_cost(seq.l, seq.d / heads.max(1), seq.l);
+        let fwd = per_head.scale((seq.n * heads) as f64);
+        self.record(
+            name,
+            KernelClass::Gemm,
+            vec![],
+            vec![scores.tensor, v.tensor],
+            out,
+            fwd,
+            fwd.scale(2.0),
+            None,
+            true,
+            false,
+            true,
+            0,
+        )
+    }
+
+    /// Reinterprets a feature map as a token sequence via an explicit copy
+    /// kernel (flatten + transpose + class-token concatenation as emitted by
+    /// vision-transformer frameworks).
+    pub fn to_sequence(&mut self, name: &str, input: &Act, tokens: u64, hidden: u64) -> Act {
+        let n = input.shape().batch();
+        let out_shape = ActShape::Seq(SeqShape::new(n, tokens, hidden));
+        let out = self.add_activation(&format!("{name}.out"), out_shape);
+        let cost = elementwise_cost(out_shape.elements(), 1);
+        self.record(
+            name,
+            KernelClass::Elementwise,
+            vec![],
+            vec![input.tensor],
+            out,
+            cost,
+            cost,
+            None,
+            false,
+            false,
+            true,
+            0,
+        )
+    }
+
+    /// Softmax over the last dimension of the given activation.
+    pub fn softmax(&mut self, name: &str, input: &Act) -> Act {
+        let out = self.add_activation(&format!("{name}.out"), input.shape);
+        let cost = softmax_cost(input.shape.elements());
+        self.record(
+            name,
+            KernelClass::Softmax,
+            vec![],
+            vec![input.tensor],
+            out,
+            cost,
+            cost,
+            None,
+            false,
+            true,
+            true,
+            0,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Finishing: backward pass + optimizer
+    // ------------------------------------------------------------------
+
+    /// Finalises the graph: emits the forward kernels, a loss kernel seeded
+    /// from `final_output`, the backward pass and the optimizer step, and
+    /// returns the complete [`DnnGraph`].
+    pub fn finish(mut self, final_output: &Act) -> DnnGraph {
+        // --- Forward kernels -------------------------------------------------
+        for rec in &self.records {
+            let mut inputs: Vec<TensorId> = rec.act_inputs.clone();
+            inputs.extend(rec.weights.iter().copied());
+            let mut outputs = vec![rec.output];
+            if rec.workspace_bytes > 0 {
+                let ws = self.graph.add_tensor(
+                    TensorKind::Workspace,
+                    rec.workspace_bytes,
+                    format!("{}.fwd.workspace", rec.name),
+                );
+                outputs.push(ws);
+            }
+            self.graph.add_kernel(
+                format!("{}.forward", rec.name),
+                rec.class,
+                rec.fwd_cost,
+                inputs,
+                outputs,
+            );
+        }
+
+        // --- Loss kernel ------------------------------------------------------
+        // Produces the gradient of the final output (the gradient "seed").
+        let mut grad_of: Vec<Option<TensorId>> = vec![None; self.graph.num_tensors()];
+        let final_bytes = final_output.shape.bytes();
+        let loss_grad = self.graph.add_tensor(
+            TensorKind::ActivationGradient,
+            final_bytes,
+            "loss.grad",
+        );
+        grad_of.resize(self.graph.num_tensors(), None);
+        grad_of[final_output.tensor.index()] = Some(loss_grad);
+        self.graph.add_kernel(
+            "loss",
+            KernelClass::Reduction,
+            elementwise_cost(final_output.shape.elements(), 1),
+            vec![final_output.tensor],
+            vec![loss_grad],
+        );
+
+        // --- Backward kernels -------------------------------------------------
+        let mut weight_grads: Vec<(TensorId, TensorId, String, u64)> = Vec::new();
+        for idx in (0..self.records.len()).rev() {
+            let rec = self.records[idx].clone();
+            let out_grad = match grad_of[rec.output.index()] {
+                Some(g) => g,
+                // An activation nobody consumed (should not happen in the
+                // model zoo); give it a zero-seeded gradient so the backward
+                // pass stays well formed.
+                None => {
+                    let g = self.graph.add_tensor(
+                        TensorKind::ActivationGradient,
+                        rec.output_bytes,
+                        format!("{}.out.grad", rec.name),
+                    );
+                    grad_of.resize(self.graph.num_tensors(), None);
+                    grad_of[rec.output.index()] = Some(g);
+                    g
+                }
+            };
+
+            // Data-gradient kernel: reads the output gradient (plus saved
+            // activations / weights) and produces gradients for the
+            // activation inputs.
+            let mut data_inputs = vec![out_grad];
+            if rec.saves_input {
+                data_inputs.extend(rec.act_inputs.iter().copied());
+            }
+            if rec.saves_output {
+                data_inputs.push(rec.output);
+            }
+            data_inputs.extend(rec.weights.iter().copied());
+
+            let mut data_outputs = Vec::new();
+            if rec.produces_input_grads {
+                for &input in &rec.act_inputs {
+                    let info_kind = self.graph.tensor(input).kind();
+                    if info_kind == TensorKind::Input {
+                        continue; // no gradient for raw model inputs
+                    }
+                    let bytes = self.graph.tensor(input).bytes();
+                    let name = format!("{}.grad", self.graph.tensor(input).name());
+                    let existing = grad_of.get(input.index()).copied().flatten();
+                    match existing {
+                        Some(g) => {
+                            // Gradient accumulation: read-modify-write.
+                            data_inputs.push(g);
+                            data_outputs.push(g);
+                        }
+                        None => {
+                            let g = self.graph.add_tensor(
+                                TensorKind::ActivationGradient,
+                                bytes,
+                                name,
+                            );
+                            grad_of.resize(self.graph.num_tensors(), None);
+                            grad_of[input.index()] = Some(g);
+                            data_outputs.push(g);
+                        }
+                    }
+                }
+            }
+
+            // Normalisation layers fold their (tiny) parameter gradients into
+            // the same backward kernel; convolutions and GEMMs get a separate
+            // weight-gradient kernel, matching how cuDNN/cuBLAS emit them.
+            let split_wgrad = rec.bwd_weight_cost.is_some() && !rec.weights.is_empty();
+            if !split_wgrad {
+                for &w in &rec.weights {
+                    let bytes = self.graph.tensor(w).bytes();
+                    let g = self.graph.add_tensor(
+                        TensorKind::WeightGradient,
+                        bytes,
+                        format!("{}.grad", self.graph.tensor(w).name()),
+                    );
+                    grad_of.resize(self.graph.num_tensors(), None);
+                    weight_grads.push((w, g, rec.name.clone(), bytes));
+                    data_outputs.push(g);
+                }
+            }
+
+            if rec.workspace_bytes > 0 {
+                let ws = self.graph.add_tensor(
+                    TensorKind::Workspace,
+                    rec.workspace_bytes,
+                    format!("{}.bwd.workspace", rec.name),
+                );
+                grad_of.resize(self.graph.num_tensors(), None);
+                data_outputs.push(ws);
+            }
+
+            if data_outputs.is_empty() {
+                // Layers at the graph boundary (e.g. embeddings with
+                // split weight gradients) may have nothing to emit here.
+                if !split_wgrad {
+                    continue;
+                }
+            } else {
+                self.graph.add_kernel(
+                    format!("{}.backward", rec.name),
+                    rec.class,
+                    rec.bwd_data_cost,
+                    data_inputs,
+                    data_outputs,
+                );
+            }
+
+            if split_wgrad {
+                let mut wgrad_inputs = vec![out_grad];
+                wgrad_inputs.extend(rec.act_inputs.iter().copied());
+                let mut wgrad_outputs = Vec::new();
+                for &w in &rec.weights {
+                    let bytes = self.graph.tensor(w).bytes();
+                    let g = self.graph.add_tensor(
+                        TensorKind::WeightGradient,
+                        bytes,
+                        format!("{}.grad", self.graph.tensor(w).name()),
+                    );
+                    grad_of.resize(self.graph.num_tensors(), None);
+                    weight_grads.push((w, g, rec.name.clone(), bytes));
+                    wgrad_outputs.push(g);
+                }
+                self.graph.add_kernel(
+                    format!("{}.backward.wgrad", rec.name),
+                    rec.class,
+                    rec.bwd_weight_cost.unwrap_or(rec.bwd_data_cost),
+                    wgrad_inputs,
+                    wgrad_outputs,
+                );
+            }
+        }
+
+        // --- Optimizer step ---------------------------------------------------
+        // One SGD-with-momentum kernel per parameterised layer, in parameter
+        // registration order (the order optimizers iterate their param groups).
+        for (weight, grad, layer_name, bytes) in weight_grads.into_iter().rev() {
+            let momentum = self.graph.add_tensor(
+                TensorKind::OptimizerState,
+                bytes,
+                format!("{layer_name}.momentum"),
+            );
+            let params = bytes / 4;
+            self.graph.add_kernel(
+                format!("{layer_name}.optimizer"),
+                KernelClass::Optimizer,
+                optimizer_cost(params),
+                vec![weight, grad, momentum],
+                vec![weight, momentum],
+            );
+        }
+
+        debug_assert!(self.graph.validate().is_ok(), "builder produced an invalid graph");
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::KernelId;
+
+    fn toy_cnn(batch: u64) -> DnnGraph {
+        let mut b = GraphBuilder::new("toy", batch);
+        let x = b.input_image(3, 32, 32);
+        let c1 = b.conv2d("conv1", &x, 16, 3, 1, 1);
+        let n1 = b.batch_norm("bn1", &c1);
+        let r1 = b.relu("relu1", &n1);
+        let c2 = b.conv2d("conv2", &r1, 16, 3, 1, 1);
+        let n2 = b.batch_norm("bn2", &c2);
+        let s = b.add("res", &n2, &r1);
+        let r2 = b.relu("relu2", &s);
+        let p = b.global_avg_pool("pool", &r2);
+        let y = b.linear("fc", &p, 10);
+        b.finish(&y)
+    }
+
+    #[test]
+    fn toy_cnn_is_valid_and_has_all_phases() {
+        let g = toy_cnn(4);
+        g.validate().expect("graph must validate");
+        let names: Vec<&str> = g.kernels().iter().map(|k| k.name()).collect();
+        assert!(names.iter().any(|n| n.ends_with(".forward")));
+        assert!(names.iter().any(|n| *n == "loss"));
+        assert!(names.iter().any(|n| n.ends_with(".backward")));
+        assert!(names.iter().any(|n| n.ends_with(".backward.wgrad")));
+        assert!(names.iter().any(|n| n.ends_with(".optimizer")));
+    }
+
+    #[test]
+    fn forward_precedes_backward_precedes_optimizer() {
+        let g = toy_cnn(4);
+        let first_backward = g
+            .kernels()
+            .iter()
+            .position(|k| k.name().contains(".backward"))
+            .unwrap();
+        let last_forward = g
+            .kernels()
+            .iter()
+            .rposition(|k| k.name().ends_with(".forward"))
+            .unwrap();
+        let first_optimizer = g
+            .kernels()
+            .iter()
+            .position(|k| k.name().ends_with(".optimizer"))
+            .unwrap();
+        let last_backward = g
+            .kernels()
+            .iter()
+            .rposition(|k| k.name().contains(".backward"))
+            .unwrap();
+        assert!(last_forward < first_backward);
+        assert!(last_backward < first_optimizer);
+    }
+
+    #[test]
+    fn weights_are_used_in_forward_backward_and_optimizer() {
+        let g = toy_cnn(4);
+        let conv1_weight = g
+            .tensors()
+            .iter()
+            .find(|t| t.name() == "conv1.weight")
+            .unwrap()
+            .id();
+        let uses: Vec<KernelId> = g
+            .tensor_use_sites()
+            .into_iter()
+            .nth(conv1_weight.index())
+            .unwrap();
+        assert!(uses.len() >= 3, "weight should be used in fwd, bwd and optimizer");
+        let names: Vec<&str> = uses.iter().map(|k| g.kernel(*k).name()).collect();
+        assert!(names.iter().any(|n| n.ends_with(".forward")));
+        assert!(names.iter().any(|n| n.contains(".backward")));
+        assert!(names.iter().any(|n| n.ends_with(".optimizer")));
+    }
+
+    #[test]
+    fn activation_memory_scales_with_batch() {
+        let small = toy_cnn(4);
+        let large = toy_cnn(8);
+        assert!(large.total_tensor_bytes() > small.total_tensor_bytes());
+        // Weights do not scale with batch, so it is less than 2x overall but
+        // activation bytes specifically should double.
+        let act_bytes = |g: &DnnGraph| {
+            g.tensors()
+                .iter()
+                .filter(|t| t.kind() == TensorKind::Activation)
+                .map(|t| t.bytes())
+                .sum::<u64>()
+        };
+        assert_eq!(act_bytes(&large), 2 * act_bytes(&small));
+    }
+
+    #[test]
+    fn transformer_layers_build() {
+        let mut b = GraphBuilder::new("toy-transformer", 2);
+        let x = b.embedding("embed", 16, 64, 1000);
+        let ln = b.layer_norm("ln", &x);
+        let q = b.linear("q", &ln, 64);
+        let k = b.linear("k", &ln, 64);
+        let v = b.linear("v", &ln, 64);
+        let s = b.attention_scores("scores", &q, &k, 4);
+        let p = b.softmax("softmax", &s);
+        let ctx = b.attention_context("context", &p, &v, 4);
+        let o = b.linear("proj", &ctx, 64);
+        let res = b.add_seq("residual", &o, &x);
+        let g = b.finish(&res);
+        g.validate().expect("transformer graph must validate");
+        assert!(g.num_kernels() > 20);
+    }
+
+    #[test]
+    fn residual_inputs_get_accumulated_gradients() {
+        // The residual `r1` activation feeds both conv2 and the add, so its
+        // gradient must be produced once and then accumulated (read+write).
+        let g = toy_cnn(4);
+        let r1_grad = g
+            .tensors()
+            .iter()
+            .find(|t| t.name() == "relu1.out.grad")
+            .map(|t| t.id());
+        let r1_grad = r1_grad.expect("gradient for relu1.out should exist");
+        let writers = g
+            .kernels()
+            .iter()
+            .filter(|k| k.outputs().contains(&r1_grad))
+            .count();
+        assert!(writers >= 2, "residual gradient should be written by at least two kernels");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the DNN workload substrate.
+
+use crate::graph::KernelId;
+use crate::tensor::TensorId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating a [`crate::graph::DnnGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A kernel references a tensor id that was never registered in the graph.
+    UnknownTensor {
+        /// The offending kernel.
+        kernel: KernelId,
+        /// The unregistered tensor id.
+        tensor: TensorId,
+    },
+    /// A kernel has no input and no output tensors, which the vitality
+    /// analyzer cannot reason about.
+    EmptyKernel {
+        /// The offending kernel.
+        kernel: KernelId,
+    },
+    /// A tensor is never used by any kernel, so it has no birth or death.
+    UnusedTensor {
+        /// The unused tensor id.
+        tensor: TensorId,
+    },
+    /// A tensor was registered with a size of zero bytes.
+    ZeroSizedTensor {
+        /// The offending tensor id.
+        tensor: TensorId,
+    },
+    /// The graph contains no kernels at all.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownTensor { kernel, tensor } => {
+                write!(f, "kernel {kernel} references unknown tensor {tensor}")
+            }
+            GraphError::EmptyKernel { kernel } => {
+                write!(f, "kernel {kernel} has no input or output tensors")
+            }
+            GraphError::UnusedTensor { tensor } => {
+                write!(f, "tensor {tensor} is never used by any kernel")
+            }
+            GraphError::ZeroSizedTensor { tensor } => {
+                write!(f, "tensor {tensor} has a size of zero bytes")
+            }
+            GraphError::EmptyGraph => write!(f, "graph contains no kernels"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            GraphError::UnknownTensor {
+                kernel: KernelId::new(3),
+                tensor: TensorId::new(7),
+            },
+            GraphError::EmptyKernel {
+                kernel: KernelId::new(1),
+            },
+            GraphError::UnusedTensor {
+                tensor: TensorId::new(9),
+            },
+            GraphError::ZeroSizedTensor {
+                tensor: TensorId::new(2),
+            },
+            GraphError::EmptyGraph,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! DNN workload substrate for the G10 reproduction.
+//!
+//! The G10 paper (MICRO '23) schedules tensor migrations for deep-learning
+//! training workloads.  Its scheduler consumes, for one training iteration,
+//! the *dataflow graph* of the model (which CUDA kernels run, in which order,
+//! and which tensors each kernel reads and writes) together with per-kernel
+//! execution times profiled on an NVIDIA A100.
+//!
+//! This crate rebuilds that input from scratch:
+//!
+//! * [`tensor`] — tensor identifiers, kinds (weights, activations, gradients,
+//!   workspaces) and sizes.
+//! * [`op`] — operator descriptors with analytic FLOP and byte counts.
+//! * [`graph`] — the [`graph::DnnGraph`] dataflow graph: kernels in execution
+//!   order with their input/output tensor sets.
+//! * [`builder`] — a layer-level builder that records a forward pass and
+//!   automatically derives the backward pass and optimizer step, mirroring
+//!   how a framework such as PyTorch materialises a training iteration.
+//! * [`models`] — the model zoo used by the paper: BERT, ViT, Inception-v3,
+//!   ResNet-152 and SENet-154, parameterised by batch size.
+//! * [`cost`] — an A100-like roofline cost model mapping operators to kernel
+//!   durations.
+//! * [`trace`] — [`trace::KernelTrace`]: the (kernel, duration) sequence the
+//!   scheduler and the replay simulator consume, with optional noise
+//!   injection for the profiling-error study (§7.6).
+//! * [`stats`] — the characterisation queries behind Figures 2–4 of the
+//!   paper (active vs. total footprint, inactive-period distributions).
+//!
+//! # Example
+//!
+//! ```
+//! use g10_dnn::models::{ModelKind, build_model};
+//! use g10_dnn::cost::GpuCostModel;
+//! use g10_dnn::trace::KernelTrace;
+//!
+//! let graph = build_model(ModelKind::ResNet152, 16);
+//! let trace = KernelTrace::profile(&graph, &GpuCostModel::a100());
+//! assert_eq!(trace.len(), graph.num_kernels());
+//! assert!(trace.total_duration().as_nanos() > 0);
+//! ```
+
+pub mod builder;
+pub mod cost;
+pub mod error;
+pub mod graph;
+pub mod models;
+pub mod op;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+pub mod time;
+pub mod trace;
+
+pub use cost::GpuCostModel;
+pub use error::GraphError;
+pub use graph::{DnnGraph, Kernel, KernelId};
+pub use tensor::{TensorId, TensorInfo, TensorKind};
+pub use time::Nanos;
+pub use trace::KernelTrace;

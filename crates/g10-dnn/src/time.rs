@@ -1,0 +1,8 @@
+//! Simulation time (re-exported from the shared [`g10_time`] crate).
+//!
+//! The [`Nanos`] type is defined in `g10-time` so that substrates that do not
+//! depend on the DNN workload crate (the SSD simulator, the unified-memory
+//! model) can share it.  It is re-exported here because kernel traces and
+//! cost models are expressed in the same unit.
+
+pub use g10_time::Nanos;

@@ -1,0 +1,714 @@
+//! The trace-replay engine.
+//!
+//! Kernels execute in trace order.  Before a kernel may start, every tensor
+//! it reads or writes must be resident in GPU memory (newly produced tensors
+//! just need space).  Policies issue asynchronous migrations around kernels;
+//! anything that is still missing when the kernel is about to launch is
+//! brought in on demand — through the UVM far-fault path for UVM-based
+//! designs — and the kernel stalls until the data (and the space for it) is
+//! available.  Time advances kernel by kernel; the modelled PCIe / SSD
+//! channels and the fault handler serialise concurrent migrations, so
+//! bandwidth contention shows up as later completion times and therefore as
+//! kernel stalls.
+
+use crate::metrics::SimReport;
+use crate::policy::MemoryPolicy;
+use g10_core::config::SystemConfig;
+use g10_dnn::graph::{DnnGraph, KernelId};
+use g10_dnn::tensor::TensorId;
+use g10_dnn::trace::KernelTrace;
+use g10_time::Nanos;
+use g10_uvm::{MemKind, UnifiedMemory, UnifiedMemoryConfig};
+use std::collections::HashSet;
+
+/// Where a tensor currently lives in the simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// Not allocated anywhere (not yet born, or already dead).
+    Unallocated,
+    /// Resident in GPU memory.
+    Gpu,
+    /// Staged in host DRAM.
+    Host,
+    /// Stored on the SSD.
+    Ssd,
+}
+
+impl Location {
+    fn mem_kind(self) -> Option<MemKind> {
+        match self {
+            Location::Gpu => Some(MemKind::Gpu),
+            Location::Host => Some(MemKind::Host),
+            Location::Ssd => Some(MemKind::Flash),
+            Location::Unallocated => None,
+        }
+    }
+}
+
+/// Extra runtime knobs that differ between the compared designs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptions {
+    /// Override the GPU capacity (the Ideal baseline uses an effectively
+    /// infinite capacity).
+    pub gpu_capacity_override: Option<u64>,
+    /// Host software overhead charged per migration batch on *planned*
+    /// migrations (non-zero for designs running on the classic UVM driver:
+    /// G10-GDS and G10-Host).
+    pub software_overhead_per_batch: Nanos,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            gpu_capacity_override: None,
+            software_overhead_per_batch: Nanos::ZERO,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TensorRuntime {
+    bytes: u64,
+    is_global: bool,
+    last_use: usize,
+    location: Location,
+    /// Completion time of an in-flight transfer into GPU memory, if any.
+    inbound_ready: Option<Nanos>,
+    last_touch: usize,
+}
+
+/// The mutable simulation state shared with policies.
+#[derive(Debug)]
+pub struct EngineState {
+    now: Nanos,
+    uvm: UnifiedMemory,
+    tensors: Vec<TensorRuntime>,
+    /// GPU bytes that will be freed when an outbound eviction completes.
+    pending_gpu_free: Vec<(Nanos, u64)>,
+    protected: Vec<bool>,
+    pays_fault_overhead: bool,
+    prefetches_issued: u64,
+    prefetches_dropped: u64,
+    evictions_issued: u64,
+    oversubscribed: bool,
+}
+
+impl EngineState {
+    /// The current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Size of a tensor in bytes.
+    pub fn bytes_of(&self, tensor: TensorId) -> u64 {
+        self.tensors[tensor.index()].bytes
+    }
+
+    /// Where the tensor currently lives.
+    pub fn location(&self, tensor: TensorId) -> Location {
+        self.tensors[tensor.index()].location
+    }
+
+    /// Returns `true` if the tensor is resident in GPU memory or already on
+    /// its way there.
+    pub fn is_resident_or_inbound(&self, tensor: TensorId) -> bool {
+        let t = &self.tensors[tensor.index()];
+        t.location == Location::Gpu || t.inbound_ready.is_some()
+    }
+
+    /// Free GPU bytes right now (pending eviction completions up to the
+    /// current time have been applied).
+    pub fn gpu_free_bytes(&self) -> u64 {
+        self.uvm.gpu().free_bytes()
+    }
+
+    /// Free host staging bytes right now.
+    pub fn host_free_bytes(&self) -> u64 {
+        self.uvm.host().free_bytes()
+    }
+
+    /// Iterator over tensors that could be evicted right now: resident in
+    /// GPU memory, not used by the current kernel, and not in flight.
+    /// Yields `(tensor, last_touch_kernel, bytes)`.
+    pub fn evictable_tensors(&self) -> impl Iterator<Item = (TensorId, usize, u64)> + '_ {
+        self.tensors.iter().enumerate().filter_map(|(idx, t)| {
+            if t.location == Location::Gpu && t.inbound_ready.is_none() && !self.protected[idx] {
+                Some((TensorId::new(idx as u32), t.last_touch, t.bytes))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Starts an asynchronous prefetch of `tensor` into GPU memory.  Returns
+    /// `false` (and does nothing) if the tensor is already resident or in
+    /// flight, is not allocated anywhere, or GPU memory has no room for it.
+    pub fn request_prefetch(&mut self, tensor: TensorId) -> bool {
+        let idx = tensor.index();
+        let (bytes, location) = (self.tensors[idx].bytes, self.tensors[idx].location);
+        if self.tensors[idx].inbound_ready.is_some() {
+            return false;
+        }
+        let source = match location {
+            Location::Host => MemKind::Host,
+            Location::Ssd => MemKind::Flash,
+            Location::Gpu | Location::Unallocated => return false,
+        };
+        self.apply_pending(self.now);
+        if !self.uvm.gpu_mut().try_allocate(bytes) {
+            self.prefetches_dropped += 1;
+            return false;
+        }
+        let now = self.now;
+        let completion = self.uvm.transfer_to_gpu(bytes, source, now);
+        if source == MemKind::Host {
+            self.uvm.host_mut().free(bytes);
+        }
+        self.tensors[idx].inbound_ready = Some(completion);
+        self.prefetches_issued += 1;
+        true
+    }
+
+    /// Starts an asynchronous eviction of `tensor` out of GPU memory to the
+    /// given destination (host DRAM or SSD).  The GPU space is reclaimed when
+    /// the transfer completes.  Returns `false` if the tensor is not an
+    /// evictable resident, or the destination is invalid.
+    pub fn request_evict(&mut self, tensor: TensorId, destination: Location) -> bool {
+        let idx = tensor.index();
+        if self.tensors[idx].location != Location::Gpu
+            || self.tensors[idx].inbound_ready.is_some()
+            || self.protected[idx]
+        {
+            return false;
+        }
+        let bytes = self.tensors[idx].bytes;
+        let destination = match destination {
+            Location::Host if self.uvm.host_mut().try_allocate(bytes) => Location::Host,
+            // Host requested but full, or SSD requested: go to flash.
+            Location::Host | Location::Ssd => Location::Ssd,
+            Location::Gpu | Location::Unallocated => return false,
+        };
+        let kind = destination.mem_kind().expect("eviction destination is physical");
+        let now = self.now;
+        let completion = self.uvm.transfer_from_gpu(bytes, kind, now);
+        self.pending_gpu_free.push((completion, bytes));
+        self.tensors[idx].location = destination;
+        self.evictions_issued += 1;
+        true
+    }
+
+    /// Starts an asynchronous prefetch like [`EngineState::request_prefetch`],
+    /// but when GPU memory is full it first asks `select_victim` for tensors
+    /// to evict and delays the transfer until their space frees up.  Returns
+    /// `false` if the tensor is ineligible or no room can be made.
+    pub fn request_prefetch_evicting(
+        &mut self,
+        tensor: TensorId,
+        mut select_victim: impl FnMut(&EngineState) -> Option<(TensorId, Location)>,
+    ) -> bool {
+        let idx = tensor.index();
+        if self.tensors[idx].inbound_ready.is_some() {
+            return false;
+        }
+        let source = match self.tensors[idx].location {
+            Location::Host => MemKind::Host,
+            Location::Ssd => MemKind::Flash,
+            Location::Gpu | Location::Unallocated => return false,
+        };
+        let bytes = self.tensors[idx].bytes;
+        self.apply_pending(self.now);
+        if self.uvm.gpu().free_bytes() < bytes {
+            loop {
+                let projected: u64 = self.uvm.gpu().free_bytes()
+                    + self.pending_gpu_free.iter().map(|(_, b)| *b).sum::<u64>();
+                if projected >= bytes {
+                    break;
+                }
+                match select_victim(self) {
+                    Some((victim, destination)) => {
+                        if !self.request_evict(victim, destination) {
+                            self.prefetches_dropped += 1;
+                            return false;
+                        }
+                    }
+                    None => {
+                        self.prefetches_dropped += 1;
+                        return false;
+                    }
+                }
+            }
+        }
+        let start = self.now.max(self.space_available_at(bytes));
+        if !self.uvm.gpu_mut().try_allocate(bytes) {
+            self.uvm.gpu_mut().force_allocate(bytes);
+        }
+        let completion = self.uvm.transfer_to_gpu(bytes, source, start);
+        if source == MemKind::Host {
+            self.uvm.host_mut().free(bytes);
+        }
+        self.tensors[idx].inbound_ready = Some(completion);
+        self.prefetches_issued += 1;
+        true
+    }
+
+    /// Earliest time at which `needed` bytes of GPU memory will be free,
+    /// given the evictions already in flight.
+    fn space_available_at(&self, needed: u64) -> Nanos {
+        let mut free = self.uvm.gpu().free_bytes();
+        if free >= needed {
+            return self.now;
+        }
+        let mut pending = self.pending_gpu_free.clone();
+        pending.sort_by_key(|(t, _)| *t);
+        for (time, bytes) in pending {
+            free += bytes;
+            if free >= needed {
+                return time.max(self.now);
+            }
+        }
+        self.now
+    }
+
+    fn apply_pending(&mut self, now: Nanos) {
+        let mut freed = 0u64;
+        self.pending_gpu_free.retain(|(t, bytes)| {
+            if *t <= now {
+                freed += *bytes;
+                false
+            } else {
+                true
+            }
+        });
+        if freed > 0 {
+            self.uvm.gpu_mut().free(freed);
+        }
+    }
+
+    fn settle(&mut self, tensor: TensorId) {
+        let idx = tensor.index();
+        if let Some(ready) = self.tensors[idx].inbound_ready {
+            if ready <= self.now {
+                self.tensors[idx].inbound_ready = None;
+                self.tensors[idx].location = Location::Gpu;
+            }
+        }
+    }
+
+    /// Time at which enough GPU space for `needed` extra bytes will exist,
+    /// asking `select_victim` for evictions as necessary.  Marks the state
+    /// oversubscribed if space cannot be found.
+    fn ensure_gpu_space(
+        &mut self,
+        needed: u64,
+        mut select_victim: impl FnMut(&EngineState) -> Option<(TensorId, Location)>,
+    ) -> Nanos {
+        self.apply_pending(self.now);
+        if self.uvm.gpu().free_bytes() >= needed {
+            return self.now;
+        }
+        // Keep evicting until currently-free plus in-flight frees cover the
+        // request, or the policy gives up.
+        loop {
+            let projected: u64 = self.uvm.gpu().free_bytes()
+                + self.pending_gpu_free.iter().map(|(_, b)| *b).sum::<u64>();
+            if projected >= needed {
+                break;
+            }
+            match select_victim(self) {
+                Some((victim, destination)) => {
+                    if !self.request_evict(victim, destination) {
+                        // The policy picked something unusable; treat as give-up.
+                        self.oversubscribed = true;
+                        return self.now;
+                    }
+                }
+                None => {
+                    self.oversubscribed = true;
+                    return self.now;
+                }
+            }
+        }
+        if self.uvm.gpu().free_bytes() >= needed {
+            return self.now;
+        }
+        // Find the earliest completion time at which enough space is free.
+        let mut pending = self.pending_gpu_free.clone();
+        pending.sort_by_key(|(t, _)| *t);
+        let mut free = self.uvm.gpu().free_bytes();
+        for (time, bytes) in pending {
+            free += bytes;
+            if free >= needed {
+                return time;
+            }
+        }
+        self.oversubscribed = true;
+        self.now
+    }
+}
+
+/// The replay engine: one training iteration, one policy.
+pub struct ReplayEngine<'a> {
+    graph: &'a DnnGraph,
+    trace: &'a KernelTrace,
+    policy: Box<dyn MemoryPolicy>,
+    state: EngineState,
+    required: Vec<Vec<TensorId>>,
+    kernel_slowdowns: Vec<f64>,
+    stall_time: Nanos,
+    working_set_exceeds_gpu: bool,
+}
+
+impl<'a> ReplayEngine<'a> {
+    /// Creates an engine for one iteration of `graph` under `trace`, managed
+    /// by `policy` on the hardware described by `config`.
+    pub fn new(
+        graph: &'a DnnGraph,
+        trace: &'a KernelTrace,
+        config: &SystemConfig,
+        policy: Box<dyn MemoryPolicy>,
+        options: RuntimeOptions,
+    ) -> Self {
+        assert_eq!(trace.len(), graph.num_kernels(), "trace must match the graph");
+        let gpu_capacity = options
+            .gpu_capacity_override
+            .unwrap_or(config.gpu_memory_bytes);
+        let uvm_config = UnifiedMemoryConfig {
+            gpu_capacity_bytes: gpu_capacity,
+            host_capacity_bytes: config.host_memory_bytes,
+            pcie_bytes_per_sec: config.pcie_bytes_per_sec,
+            ssd_read_bytes_per_sec: config.ssd_read_bytes_per_sec,
+            ssd_write_bytes_per_sec: config.ssd_write_bytes_per_sec,
+            ssd_read_latency: config.ssd_read_latency,
+            ssd_write_latency: config.ssd_write_latency,
+            host_latency: config.host_latency,
+            fault: g10_uvm::FaultModel {
+                fault_latency: config.fault_latency,
+                batch_bytes: config.fault_batch_bytes,
+            },
+            migration_batch_bytes: config.migration_batch_bytes,
+            software_overhead_per_batch: options.software_overhead_per_batch,
+        };
+        let mut uvm = UnifiedMemory::new(uvm_config);
+
+        // Per-tensor runtime state and initial placement.
+        let uses = graph.tensor_use_sites();
+        let mut tensors = Vec::with_capacity(graph.num_tensors());
+        for info in graph.tensors() {
+            let sites = &uses[info.id().index()];
+            let last_use = sites.last().map(|k| k.index()).unwrap_or(0);
+            let mut location = if sites.is_empty() {
+                Location::Unallocated
+            } else {
+                policy.initial_location(info)
+            };
+            match location {
+                Location::Gpu => {
+                    if !uvm.gpu_mut().try_allocate(info.bytes()) {
+                        // Weights that do not fit initially spill to host.
+                        location = if uvm.host_mut().try_allocate(info.bytes()) {
+                            Location::Host
+                        } else {
+                            Location::Ssd
+                        };
+                    }
+                }
+                Location::Host => {
+                    if !uvm.host_mut().try_allocate(info.bytes()) {
+                        location = Location::Ssd;
+                    }
+                }
+                Location::Ssd | Location::Unallocated => {}
+            }
+            tensors.push(TensorRuntime {
+                bytes: info.bytes(),
+                is_global: info.is_global(),
+                last_use,
+                location,
+                inbound_ready: None,
+                last_touch: 0,
+            });
+        }
+
+        // Per-kernel unique working sets.
+        let mut required = Vec::with_capacity(graph.num_kernels());
+        let mut working_set_exceeds_gpu = false;
+        for kernel in graph.kernels() {
+            let mut seen = HashSet::new();
+            let mut list = Vec::new();
+            let mut ws = 0u64;
+            for t in kernel.tensors() {
+                if seen.insert(t) {
+                    ws += graph.tensor(t).bytes();
+                    list.push(t);
+                }
+            }
+            if ws > gpu_capacity {
+                working_set_exceeds_gpu = true;
+            }
+            required.push(list);
+        }
+
+        let num_tensors = graph.num_tensors();
+        ReplayEngine {
+            graph,
+            trace,
+            state: EngineState {
+                now: Nanos::ZERO,
+                uvm,
+                tensors,
+                pending_gpu_free: Vec::new(),
+                protected: vec![false; num_tensors],
+                pays_fault_overhead: policy.pays_fault_overhead(),
+                prefetches_issued: 0,
+                prefetches_dropped: 0,
+                evictions_issued: 0,
+                oversubscribed: false,
+            },
+            policy,
+            required,
+            kernel_slowdowns: Vec::with_capacity(graph.num_kernels()),
+            stall_time: Nanos::ZERO,
+            working_set_exceeds_gpu,
+        }
+    }
+
+    /// Replays the iteration and returns the report.
+    pub fn run(mut self) -> SimReport {
+        let n = self.graph.num_kernels();
+        for k in 0..n {
+            self.step(k);
+        }
+        let state = self.state;
+        SimReport {
+            model: self.graph.name().to_string(),
+            batch: self.graph.batch_size(),
+            policy: self.policy.name(),
+            total_time: state.now,
+            ideal_time: self.trace.total_duration(),
+            stall_time: self.stall_time,
+            kernel_slowdowns: self.kernel_slowdowns,
+            traffic: state.uvm.traffic(),
+            fault_count: state.uvm.fault_count(),
+            prefetches_issued: state.prefetches_issued,
+            prefetches_dropped: state.prefetches_dropped,
+            evictions_issued: state.evictions_issued,
+            oversubscribed: state.oversubscribed,
+            working_set_exceeds_gpu: self.working_set_exceeds_gpu,
+        }
+    }
+
+    fn step(&mut self, k: usize) {
+        let kernel_id = KernelId::new(k as u32);
+        self.policy.before_kernel(k, &mut self.state);
+
+        // Protect the working set of this kernel from eviction.
+        let required = self.required[k].clone();
+        for &t in &required {
+            self.state.protected[t.index()] = true;
+        }
+
+        // Make every required tensor resident (or allocated, for new
+        // outputs), collecting the time at which the kernel may start.
+        let mut ready = self.state.now;
+        for &t in &required {
+            let idx = t.index();
+            self.state.settle(t);
+            match self.state.tensors[idx].location {
+                Location::Gpu => {}
+                Location::Unallocated => {
+                    // A tensor being born: it only needs space.
+                    let bytes = self.state.tensors[idx].bytes;
+                    let space_at = self.ensure_space(bytes);
+                    ready = ready.max(space_at);
+                    self.state.apply_pending(self.state.now);
+                    if !self.state.uvm.gpu_mut().try_allocate(bytes) {
+                        self.state.uvm.gpu_mut().force_allocate(bytes);
+                        self.state.oversubscribed = true;
+                    }
+                    self.state.tensors[idx].location = Location::Gpu;
+                }
+                Location::Host | Location::Ssd => {
+                    if let Some(arrival) = self.state.tensors[idx].inbound_ready {
+                        // A prefetch is already on the way.
+                        ready = ready.max(arrival);
+                    } else {
+                        // Unplanned access: bring it in on demand.
+                        let arrival = self.demand_fetch(t);
+                        ready = ready.max(arrival);
+                    }
+                }
+            }
+        }
+
+        // Launch the kernel once everything is ready.
+        let start = ready.max(self.state.now);
+        let stall = start.saturating_sub(self.state.now);
+        let duration = self.trace.duration(kernel_id);
+        let end = start + duration;
+        self.stall_time += stall;
+        let slowdown = if duration.is_zero() {
+            1.0
+        } else {
+            (stall + duration).as_secs_f64() / duration.as_secs_f64()
+        };
+        self.kernel_slowdowns.push(slowdown);
+        self.state.now = end;
+
+        // The kernel has consumed its inputs and produced its outputs.
+        for &t in &required {
+            self.state.settle(t);
+            let idx = t.index();
+            self.state.tensors[idx].last_touch = k;
+            self.state.protected[idx] = false;
+        }
+        self.state.apply_pending(self.state.now);
+
+        // Free intermediates that just died.
+        for &t in &required {
+            let idx = t.index();
+            if !self.state.tensors[idx].is_global && self.state.tensors[idx].last_use == k {
+                self.release(t);
+            }
+        }
+
+        self.policy.after_kernel(k, &mut self.state);
+    }
+
+    /// Unplanned fetch of a tensor that the current kernel needs.
+    fn demand_fetch(&mut self, tensor: TensorId) -> Nanos {
+        let idx = tensor.index();
+        let bytes = self.state.tensors[idx].bytes;
+        let source = match self.state.tensors[idx].location {
+            Location::Host => MemKind::Host,
+            Location::Ssd => MemKind::Flash,
+            _ => return self.state.now,
+        };
+        let space_at = self.ensure_space(bytes);
+        self.state.apply_pending(self.state.now);
+        if !self.state.uvm.gpu_mut().try_allocate(bytes) {
+            self.state.uvm.gpu_mut().force_allocate(bytes);
+            self.state.oversubscribed = true;
+        }
+        let start = self.state.now.max(space_at);
+        let arrival = if self.state.pays_fault_overhead {
+            self.state.uvm.fault_in(bytes, source, start)
+        } else {
+            self.state.uvm.transfer_to_gpu(bytes, source, start)
+        };
+        if source == MemKind::Host {
+            self.state.uvm.host_mut().free(bytes);
+        }
+        self.state.tensors[idx].inbound_ready = Some(arrival);
+        arrival
+    }
+
+    fn ensure_space(&mut self, bytes: u64) -> Nanos {
+        let policy = &mut self.policy;
+        self.state
+            .ensure_gpu_space(bytes, |state| policy.select_victim(state))
+    }
+
+    /// Releases a dead intermediate tensor from wherever it lives.
+    fn release(&mut self, tensor: TensorId) {
+        let idx = tensor.index();
+        // A dead tensor cannot still be in flight: it was just settled as
+        // part of the kernel that used it last.
+        match self.state.tensors[idx].location {
+            Location::Gpu => self.state.uvm.gpu_mut().free(self.state.tensors[idx].bytes),
+            Location::Host => self.state.uvm.host_mut().free(self.state.tensors[idx].bytes),
+            Location::Ssd | Location::Unallocated => {}
+        }
+        self.state.tensors[idx].location = Location::Unallocated;
+        self.state.tensors[idx].inbound_ready = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{BaseUvmPolicy, IdealPolicy};
+    use g10_dnn::cost::GpuCostModel;
+    use g10_dnn::models::{build_model, ModelKind};
+
+    fn workload() -> (DnnGraph, KernelTrace) {
+        let graph = build_model(ModelKind::TinyCnn, 32);
+        let trace = KernelTrace::profile(&graph, &GpuCostModel::a100());
+        (graph, trace)
+    }
+
+    #[test]
+    fn ideal_run_has_no_stalls() {
+        let (graph, trace) = workload();
+        let config = SystemConfig::table2();
+        let engine = ReplayEngine::new(
+            &graph,
+            &trace,
+            &config,
+            Box::new(IdealPolicy::new()),
+            RuntimeOptions {
+                gpu_capacity_override: Some(u64::MAX / 4),
+                ..RuntimeOptions::default()
+            },
+        );
+        let report = engine.run();
+        assert_eq!(report.total_time, report.ideal_time);
+        assert_eq!(report.stall_time, Nanos::ZERO);
+        assert_eq!(report.fault_count, 0);
+        assert!(report.kernel_slowdowns.iter().all(|s| (*s - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn plentiful_memory_matches_ideal_even_for_base_uvm() {
+        let (graph, trace) = workload();
+        let config = SystemConfig::table2();
+        let report = ReplayEngine::new(
+            &graph,
+            &trace,
+            &config,
+            Box::new(BaseUvmPolicy::new()),
+            RuntimeOptions::default(),
+        )
+        .run();
+        assert_eq!(report.total_time, report.ideal_time);
+        assert_eq!(report.traffic.total(), 0);
+    }
+
+    #[test]
+    fn scarce_memory_causes_stalls_and_traffic_for_base_uvm() {
+        let graph = build_model(ModelKind::TinyCnn, 64);
+        let trace = KernelTrace::profile(&graph, &GpuCostModel::a100());
+        let config = SystemConfig::table2().with_gpu_memory(32 << 20);
+        let report = ReplayEngine::new(
+            &graph,
+            &trace,
+            &config,
+            Box::new(BaseUvmPolicy::new()),
+            RuntimeOptions::default(),
+        )
+        .run();
+        assert!(report.total_time > report.ideal_time);
+        assert!(report.stall_time > Nanos::ZERO);
+        assert!(report.traffic.total() > 0);
+        assert!(report.fault_count > 0);
+        assert!(report.evictions_issued > 0);
+        // Stall plus ideal compute equals the total simulated time.
+        assert_eq!(report.ideal_time + report.stall_time, report.total_time);
+    }
+
+    #[test]
+    fn slowdowns_are_at_least_one() {
+        let graph = build_model(ModelKind::TinyCnn, 64);
+        let trace = KernelTrace::profile(&graph, &GpuCostModel::a100());
+        let config = SystemConfig::table2().with_gpu_memory(32 << 20);
+        let report = ReplayEngine::new(
+            &graph,
+            &trace,
+            &config,
+            Box::new(BaseUvmPolicy::new()),
+            RuntimeOptions::default(),
+        )
+        .run();
+        assert_eq!(report.kernel_slowdowns.len(), graph.num_kernels());
+        assert!(report.kernel_slowdowns.iter().all(|s| *s >= 1.0));
+    }
+}

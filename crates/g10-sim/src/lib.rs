@@ -1,0 +1,47 @@
+//! Event-driven execution simulator for the G10 reproduction.
+//!
+//! The paper evaluates G10 by replaying kernel traces collected on a real
+//! A100 through a simulator that models UVM page faults, page-granular
+//! migrations, PCIe and SSD bandwidth, and the runtime behaviour of the
+//! compared designs.  This crate rebuilds that evaluation substrate:
+//!
+//! * [`engine`] — the trace-replay engine: kernels execute back to back,
+//!   gated on the residency of their working set; migrations run
+//!   asynchronously on the modelled channels; stalls, faults and traffic are
+//!   accounted per kernel.
+//! * [`policy`] — the [`policy::MemoryPolicy`] trait through which a memory
+//!   management design plugs into the engine.
+//! * [`policies`] — the designs compared in the paper: Ideal (infinite GPU
+//!   memory), Base UVM (on-demand paging + LRU), DeepUM+ (correlation
+//!   prefetching), FlashNeuron (compile-time tensor offloading over
+//!   GPUDirect Storage), and G10 with its G10-GDS / G10-Host ablations.
+//! * [`metrics`] — the [`metrics::SimReport`] produced by every run: total
+//!   and ideal time, stall breakdown, per-kernel slowdowns, migration
+//!   traffic, fault counts and SSD-lifetime inputs.
+//! * [`runner`] — experiment helpers: build a model, plan (for G10), replay,
+//!   and sweep parameters in parallel.
+//!
+//! # Example
+//!
+//! ```
+//! use g10_core::config::SystemConfig;
+//! use g10_dnn::models::ModelKind;
+//! use g10_sim::runner::{run_experiment, PolicyKind};
+//!
+//! // A deliberately small GPU so the tiny model actually needs migrations.
+//! let config = SystemConfig::table2().with_gpu_memory(64 << 20);
+//! let g10 = run_experiment(ModelKind::TinyCnn, 32, PolicyKind::G10Full, &config);
+//! let base = run_experiment(ModelKind::TinyCnn, 32, PolicyKind::BaseUvm, &config);
+//! assert!(g10.total_time <= base.total_time);
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod policies;
+pub mod policy;
+pub mod runner;
+
+pub use engine::{Location, ReplayEngine};
+pub use metrics::SimReport;
+pub use policy::MemoryPolicy;
+pub use runner::{run_experiment, PolicyKind};

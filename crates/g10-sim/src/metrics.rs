@@ -1,0 +1,202 @@
+//! Simulation results.
+//!
+//! A [`SimReport`] captures everything the paper's figures are drawn from:
+//! end-to-end execution time vs the ideal, the stall/overlap breakdown
+//! (Fig. 12), per-kernel slowdowns (Fig. 13), migration traffic by channel
+//! (Fig. 14), fault counts, and the write traffic feeding the SSD-lifetime
+//! analysis (§7.7).
+
+use g10_time::Nanos;
+use g10_uvm::TrafficStats;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of replaying one training iteration under one memory policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// The model name (e.g. `"ResNet152"`).
+    pub model: String,
+    /// The batch size.
+    pub batch: u64,
+    /// The policy name (e.g. `"G10"`, `"Base UVM"`).
+    pub policy: String,
+    /// Total simulated time of the iteration.
+    pub total_time: Nanos,
+    /// The ideal (infinite-GPU-memory) iteration time.
+    pub ideal_time: Nanos,
+    /// Total time kernels spent stalled waiting for data or space.
+    pub stall_time: Nanos,
+    /// Per-kernel slowdowns (actual / ideal duration), in execution order.
+    pub kernel_slowdowns: Vec<f64>,
+    /// Migration traffic by channel and direction.
+    pub traffic: TrafficStats,
+    /// Number of far faults serviced.
+    pub fault_count: u64,
+    /// Planned prefetches issued.
+    pub prefetches_issued: u64,
+    /// Planned prefetches dropped because GPU memory had no room.
+    pub prefetches_dropped: u64,
+    /// Evictions issued (planned or capacity-driven).
+    pub evictions_issued: u64,
+    /// `true` if GPU memory was transiently oversubscribed (a kernel's
+    /// working set could not be made to fit by evicting).
+    pub oversubscribed: bool,
+    /// `true` if some kernel's working set exceeds the GPU capacity, which
+    /// makes the workload infeasible for designs that require the full
+    /// working set to be explicitly resident (FlashNeuron, footnote 1).
+    pub working_set_exceeds_gpu: bool,
+}
+
+impl SimReport {
+    /// Performance normalised to the ideal system (1.0 = ideal), the y-axis
+    /// of Figure 11.
+    pub fn normalized_performance(&self) -> f64 {
+        if self.total_time.is_zero() {
+            return 1.0;
+        }
+        self.ideal_time.as_secs_f64() / self.total_time.as_secs_f64()
+    }
+
+    /// Training throughput in samples per second (Figure 15).
+    pub fn throughput(&self) -> f64 {
+        if self.total_time.is_zero() {
+            return 0.0;
+        }
+        self.batch as f64 / self.total_time.as_secs_f64()
+    }
+
+    /// Fraction of the execution during which the GPU was stalled on data
+    /// (Figure 12's "compute stall" component).
+    pub fn stall_fraction(&self) -> f64 {
+        if self.total_time.is_zero() {
+            return 0.0;
+        }
+        self.stall_time.as_secs_f64() / self.total_time.as_secs_f64()
+    }
+
+    /// Fraction of the execution during which computation (overlapped with
+    /// any migrations) was making progress.
+    pub fn overlap_fraction(&self) -> f64 {
+        1.0 - self.stall_fraction()
+    }
+
+    /// Fraction of kernels whose slowdown exceeds the given threshold
+    /// (Figure 13 reports the distribution; the paper quotes the share of
+    /// kernels slower than ideal).
+    pub fn fraction_of_kernels_slower_than(&self, threshold: f64) -> f64 {
+        if self.kernel_slowdowns.is_empty() {
+            return 0.0;
+        }
+        let slower = self
+            .kernel_slowdowns
+            .iter()
+            .filter(|s| **s > threshold)
+            .count();
+        slower as f64 / self.kernel_slowdowns.len() as f64
+    }
+
+    /// Sorted copy of the per-kernel slowdowns (the CDF of Figure 13).
+    pub fn slowdown_cdf(&self) -> Vec<f64> {
+        let mut v = self.kernel_slowdowns.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v
+    }
+
+    /// A quantile of the per-kernel slowdown distribution (`q` in `[0, 1]`).
+    pub fn slowdown_quantile(&self, q: f64) -> f64 {
+        let cdf = self.slowdown_cdf();
+        if cdf.is_empty() {
+            return 1.0;
+        }
+        let idx = ((cdf.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        cdf[idx]
+    }
+
+    /// Bytes written to the SSD during the iteration (wears the flash).
+    pub fn ssd_write_bytes(&self) -> u64 {
+        self.traffic.ssd_write_bytes()
+    }
+
+    /// One-line summary used by examples and the experiment harness.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:12} {:>14}  perf={:5.1}%  stall={:4.1}%  traffic: ssd={:6.1} GB host={:6.1} GB  faults={}",
+            self.model,
+            self.policy,
+            self.normalized_performance() * 100.0,
+            self.stall_fraction() * 100.0,
+            self.traffic.ssd_total() as f64 / 1e9,
+            self.traffic.host_total() as f64 / 1e9,
+            self.fault_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            model: "Test".to_string(),
+            batch: 128,
+            policy: "G10".to_string(),
+            total_time: Nanos::from_secs(10),
+            ideal_time: Nanos::from_secs(9),
+            stall_time: Nanos::from_secs(1),
+            kernel_slowdowns: vec![1.0, 1.0, 2.0, 4.0],
+            traffic: TrafficStats {
+                gpu_to_ssd_bytes: 100,
+                ssd_to_gpu_bytes: 200,
+                gpu_to_host_bytes: 300,
+                host_to_gpu_bytes: 400,
+            },
+            fault_count: 5,
+            prefetches_issued: 10,
+            prefetches_dropped: 1,
+            evictions_issued: 12,
+            oversubscribed: false,
+            working_set_exceeds_gpu: false,
+        }
+    }
+
+    #[test]
+    fn normalised_performance_and_throughput() {
+        let r = report();
+        assert!((r.normalized_performance() - 0.9).abs() < 1e-12);
+        assert!((r.throughput() - 12.8).abs() < 1e-9);
+        assert!((r.stall_fraction() - 0.1).abs() < 1e-12);
+        assert!((r.overlap_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_statistics() {
+        let r = report();
+        assert_eq!(r.fraction_of_kernels_slower_than(1.0), 0.5);
+        assert_eq!(r.fraction_of_kernels_slower_than(10.0), 0.0);
+        assert_eq!(r.slowdown_cdf(), vec![1.0, 1.0, 2.0, 4.0]);
+        assert_eq!(r.slowdown_quantile(0.0), 1.0);
+        assert_eq!(r.slowdown_quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn traffic_helpers() {
+        let r = report();
+        assert_eq!(r.ssd_write_bytes(), 100);
+        assert_eq!(r.traffic.total(), 1000);
+        let s = r.summary();
+        assert!(s.contains("G10"));
+        assert!(s.contains("Test"));
+    }
+
+    #[test]
+    fn zero_time_edge_cases() {
+        let mut r = report();
+        r.total_time = Nanos::ZERO;
+        assert_eq!(r.normalized_performance(), 1.0);
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.stall_fraction(), 0.0);
+        r.kernel_slowdowns.clear();
+        assert_eq!(r.fraction_of_kernels_slower_than(1.0), 0.0);
+        assert_eq!(r.slowdown_quantile(0.5), 1.0);
+    }
+}

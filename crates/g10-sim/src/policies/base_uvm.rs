@@ -1,0 +1,42 @@
+//! Base UVM: on-demand page migration via GPU page faults, LRU eviction.
+
+use crate::engine::EngineState;
+use crate::policy::MemoryPolicy;
+
+/// The basic GPU-CPU-SSD UVM baseline of the paper.
+///
+/// Nothing is prefetched or pre-evicted: every access to non-resident data
+/// goes through the far-fault path (45 µs per fault batch plus the
+/// transfer), and when GPU memory fills up the least recently used tensors
+/// are evicted — to host memory while it has room, to the SSD afterwards.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaseUvmPolicy;
+
+impl BaseUvmPolicy {
+    /// Creates the Base UVM policy.
+    pub fn new() -> Self {
+        BaseUvmPolicy
+    }
+}
+
+impl MemoryPolicy for BaseUvmPolicy {
+    fn name(&self) -> String {
+        "Base UVM".to_string()
+    }
+
+    fn before_kernel(&mut self, _kernel: usize, _state: &mut EngineState) {}
+
+    fn after_kernel(&mut self, _kernel: usize, _state: &mut EngineState) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_uvm_uses_the_fault_path() {
+        let p = BaseUvmPolicy::new();
+        assert!(p.pays_fault_overhead());
+        assert_eq!(p.name(), "Base UVM");
+    }
+}

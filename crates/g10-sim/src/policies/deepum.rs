@@ -1,0 +1,103 @@
+//! DeepUM+: correlation-based prefetching on top of UVM.
+//!
+//! DeepUM records the sequence of unified-memory blocks kernels touch and,
+//! because DNN training repeats the same kernel sequence every iteration,
+//! its correlation prefetcher effectively knows which data the next few
+//! kernels will need and pulls it in while the current kernel runs.  The
+//! paper extends the original CPU-GPU design with SSD support ("DeepUM+"):
+//! when a page must be evicted and the CPU memory is full, it goes to the
+//! SSD.  That is exactly what this policy does at tensor granularity: a
+//! fixed look-ahead window of upcoming kernels is prefetched, and evictions
+//! are least-recently-used with host-then-SSD placement.
+
+use crate::engine::{EngineState, Location};
+use crate::policy::{lru_victim, MemoryPolicy};
+use g10_dnn::graph::DnnGraph;
+use g10_dnn::tensor::TensorId;
+use std::collections::HashSet;
+
+/// Default number of upcoming kernels whose working sets are prefetched.
+pub const DEFAULT_LOOKAHEAD: usize = 4;
+
+/// The DeepUM+ baseline.
+#[derive(Debug, Clone)]
+pub struct DeepUmPolicy {
+    required: Vec<Vec<TensorId>>,
+    lookahead: usize,
+}
+
+impl DeepUmPolicy {
+    /// Creates the policy for one training-iteration graph with the default
+    /// look-ahead window.
+    pub fn new(graph: &DnnGraph) -> Self {
+        Self::with_lookahead(graph, DEFAULT_LOOKAHEAD)
+    }
+
+    /// Creates the policy with an explicit look-ahead window (in kernels).
+    pub fn with_lookahead(graph: &DnnGraph, lookahead: usize) -> Self {
+        let required = graph
+            .kernels()
+            .iter()
+            .map(|k| {
+                let mut seen = HashSet::new();
+                k.tensors().filter(|t| seen.insert(*t)).collect()
+            })
+            .collect();
+        DeepUmPolicy {
+            required,
+            lookahead: lookahead.max(1),
+        }
+    }
+
+    /// The look-ahead window in kernels.
+    pub fn lookahead(&self) -> usize {
+        self.lookahead
+    }
+}
+
+impl MemoryPolicy for DeepUmPolicy {
+    fn name(&self) -> String {
+        "DeepUM+".to_string()
+    }
+
+    fn before_kernel(&mut self, kernel: usize, state: &mut EngineState) {
+        let end = (kernel + 1 + self.lookahead).min(self.required.len());
+        for upcoming in kernel + 1..end {
+            for idx in 0..self.required[upcoming].len() {
+                let tensor = self.required[upcoming][idx];
+                if state.is_resident_or_inbound(tensor)
+                    || state.location(tensor) == Location::Unallocated
+                {
+                    continue;
+                }
+                state.request_prefetch_evicting(tensor, lru_victim);
+            }
+        }
+    }
+
+    fn after_kernel(&mut self, _kernel: usize, _state: &mut EngineState) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use g10_dnn::models::{build_model, ModelKind};
+
+    #[test]
+    fn lookahead_is_clamped_to_at_least_one() {
+        let graph = build_model(ModelKind::TinyCnn, 4);
+        let p = DeepUmPolicy::with_lookahead(&graph, 0);
+        assert_eq!(p.lookahead(), 1);
+        let p = DeepUmPolicy::new(&graph);
+        assert_eq!(p.lookahead(), DEFAULT_LOOKAHEAD);
+        assert_eq!(p.name(), "DeepUM+");
+    }
+
+    #[test]
+    fn required_sets_cover_every_kernel() {
+        let graph = build_model(ModelKind::TinyCnn, 4);
+        let p = DeepUmPolicy::new(&graph);
+        assert_eq!(p.required.len(), graph.num_kernels());
+        assert!(p.required.iter().all(|r| !r.is_empty()));
+    }
+}

@@ -1,0 +1,38 @@
+//! The Ideal baseline: a GPU with infinite on-board memory.
+
+use crate::engine::EngineState;
+use crate::policy::MemoryPolicy;
+
+/// Ideal baseline policy.  It never migrates anything; the runner pairs it
+/// with an effectively unlimited GPU capacity so no migration is ever
+/// needed, which yields the theoretically best performance the paper
+/// normalises against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdealPolicy;
+
+impl IdealPolicy {
+    /// Creates the ideal policy.
+    pub fn new() -> Self {
+        IdealPolicy
+    }
+}
+
+impl MemoryPolicy for IdealPolicy {
+    fn name(&self) -> String {
+        "Ideal".to_string()
+    }
+
+    fn before_kernel(&mut self, _kernel: usize, _state: &mut EngineState) {}
+
+    fn after_kernel(&mut self, _kernel: usize, _state: &mut EngineState) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_matches_the_paper() {
+        assert_eq!(IdealPolicy::new().name(), "Ideal");
+    }
+}

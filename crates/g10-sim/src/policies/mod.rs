@@ -1,0 +1,27 @@
+//! The memory management designs compared in the paper's evaluation.
+//!
+//! * [`IdealPolicy`] — a GPU with effectively infinite on-board memory.
+//! * [`BaseUvmPolicy`] — the basic GPU-CPU-SSD UVM system with only
+//!   on-demand page migrations via page faults and LRU eviction.
+//! * [`DeepUmPolicy`] — DeepUM+: a UVM system whose correlation prefetcher
+//!   pulls in the data of upcoming kernels while the current one runs,
+//!   evicting LRU pages to host memory first and to the SSD when the host
+//!   is full.
+//! * [`FlashNeuronPolicy`] — FlashNeuron: a DNN training library that
+//!   selects intermediate activation tensors at compile time and offloads
+//!   them to the SSD over GPUDirect Storage, never using host memory and
+//!   never going through UVM faults.
+//! * [`G10Policy`] — G10 and its G10-GDS / G10-Host ablations: executes the
+//!   migration plan produced by [`g10_core::scheduler::G10Scheduler`].
+
+mod base_uvm;
+mod deepum;
+mod flashneuron;
+mod g10;
+mod ideal;
+
+pub use base_uvm::BaseUvmPolicy;
+pub use deepum::DeepUmPolicy;
+pub use flashneuron::FlashNeuronPolicy;
+pub use g10::G10Policy;
+pub use ideal::IdealPolicy;

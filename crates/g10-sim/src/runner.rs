@@ -1,0 +1,316 @@
+//! Experiment helpers: build a workload, plan (for G10), replay, sweep.
+
+use crate::engine::{ReplayEngine, RuntimeOptions};
+use crate::metrics::SimReport;
+use crate::policies::{BaseUvmPolicy, DeepUmPolicy, FlashNeuronPolicy, G10Policy, IdealPolicy};
+use crate::policy::MemoryPolicy;
+use g10_core::config::SystemConfig;
+use g10_core::scheduler::{G10Scheduler, SchedulerVariant};
+use g10_dnn::cost::GpuCostModel;
+use g10_dnn::graph::DnnGraph;
+use g10_dnn::models::{build_model, ModelKind};
+use g10_dnn::trace::KernelTrace;
+use g10_time::Nanos;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Per-batch host software overhead paid by designs that execute planned
+/// migrations through the classic UVM driver (G10-GDS and G10-Host) rather
+/// than G10's extended UVM.
+pub const CLASSIC_UVM_BATCH_OVERHEAD: Nanos = Nanos::from_micros(10);
+
+/// The designs compared throughout §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Infinite GPU memory.
+    Ideal,
+    /// On-demand UVM paging with LRU eviction.
+    BaseUvm,
+    /// DeepUM+ correlation prefetching.
+    DeepUmPlus,
+    /// FlashNeuron compile-time offloading over GPUDirect Storage.
+    FlashNeuron,
+    /// G10 restricted to GPU↔SSD migrations.
+    G10Gds,
+    /// G10 with host+SSD migrations over classic UVM.
+    G10Host,
+    /// The full G10 design.
+    G10Full,
+}
+
+impl PolicyKind {
+    /// The designs shown in Figure 11, in presentation order.
+    pub const FIGURE11: [PolicyKind; 6] = [
+        PolicyKind::BaseUvm,
+        PolicyKind::FlashNeuron,
+        PolicyKind::DeepUmPlus,
+        PolicyKind::G10Gds,
+        PolicyKind::G10Host,
+        PolicyKind::G10Full,
+    ];
+
+    /// The designs shown in Figures 12–15 and 18 (Base UVM, FlashNeuron,
+    /// DeepUM+ and the full G10).
+    pub const COMPARED: [PolicyKind; 4] = [
+        PolicyKind::BaseUvm,
+        PolicyKind::FlashNeuron,
+        PolicyKind::DeepUmPlus,
+        PolicyKind::G10Full,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Ideal => "Ideal",
+            PolicyKind::BaseUvm => "Base UVM",
+            PolicyKind::DeepUmPlus => "DeepUM+",
+            PolicyKind::FlashNeuron => "FlashNeuron",
+            PolicyKind::G10Gds => "G10-GDS",
+            PolicyKind::G10Host => "G10-Host",
+            PolicyKind::G10Full => "G10",
+        }
+    }
+
+    /// The scheduler variant behind the G10 policies, if any.
+    pub const fn scheduler_variant(self) -> Option<SchedulerVariant> {
+        match self {
+            PolicyKind::G10Gds => Some(SchedulerVariant::Gds),
+            PolicyKind::G10Host => Some(SchedulerVariant::Host),
+            PolicyKind::G10Full => Some(SchedulerVariant::Full),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace([' ', '_'], "-").as_str() {
+            "ideal" => Ok(PolicyKind::Ideal),
+            "base-uvm" | "baseuvm" | "uvm" => Ok(PolicyKind::BaseUvm),
+            "deepum+" | "deepum" | "deepum-plus" => Ok(PolicyKind::DeepUmPlus),
+            "flashneuron" => Ok(PolicyKind::FlashNeuron),
+            "g10-gds" => Ok(PolicyKind::G10Gds),
+            "g10-host" => Ok(PolicyKind::G10Host),
+            "g10" | "g10-full" => Ok(PolicyKind::G10Full),
+            other => Err(format!("unknown policy: {other}")),
+        }
+    }
+}
+
+/// A model + batch-size workload: the dataflow graph and its profiled trace.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which model this is.
+    pub model: ModelKind,
+    /// The batch size the graph was built for.
+    pub batch: u64,
+    /// The training-iteration dataflow graph.
+    pub graph: DnnGraph,
+    /// The profiled (modelled) kernel trace replayed by the simulator.
+    pub trace: KernelTrace,
+}
+
+impl Workload {
+    /// Builds the workload with the paper-calibrated cost model: the native
+    /// A100 roofline slowed by [`ModelKind::calibration_factor`] so the
+    /// ideal iteration time lands where the paper's Figure 15 puts it.
+    pub fn new(model: ModelKind, batch: u64) -> Self {
+        let cost_model = GpuCostModel::a100().slowed(model.calibration_factor());
+        Self::with_cost_model(model, batch, &cost_model)
+    }
+
+    /// Builds the workload with an explicit GPU cost model.
+    pub fn with_cost_model(model: ModelKind, batch: u64, cost_model: &GpuCostModel) -> Self {
+        let graph = build_model(model, batch);
+        let trace = KernelTrace::profile(&graph, cost_model);
+        Workload {
+            model,
+            batch,
+            graph,
+            trace,
+        }
+    }
+
+    /// Total memory consumption of the workload relative to the GPU capacity
+    /// (the "M" annotation of Figure 11).
+    pub fn memory_ratio(&self, config: &SystemConfig) -> f64 {
+        self.graph.total_tensor_bytes() as f64 / config.gpu_memory_bytes as f64
+    }
+}
+
+/// Replays `workload` under `policy` on the hardware described by `config`.
+pub fn run_policy(workload: &Workload, policy: PolicyKind, config: &SystemConfig) -> SimReport {
+    run_policy_with_planning_trace(workload, policy, config, &workload.trace)
+}
+
+/// Like [`run_policy`], but lets the G10 scheduler plan against a different
+/// (e.g. noise-perturbed) trace than the one being replayed — the profiling
+/// error study of §7.6.
+pub fn run_policy_with_planning_trace(
+    workload: &Workload,
+    policy: PolicyKind,
+    config: &SystemConfig,
+    planning_trace: &KernelTrace,
+) -> SimReport {
+    let mut options = RuntimeOptions::default();
+    let boxed: Box<dyn MemoryPolicy> = match policy {
+        PolicyKind::Ideal => {
+            options.gpu_capacity_override = Some(u64::MAX / 4);
+            Box::new(IdealPolicy::new())
+        }
+        PolicyKind::BaseUvm => Box::new(BaseUvmPolicy::new()),
+        PolicyKind::DeepUmPlus => Box::new(DeepUmPolicy::new(&workload.graph)),
+        PolicyKind::FlashNeuron => Box::new(FlashNeuronPolicy::new(
+            &workload.graph,
+            planning_trace,
+            config,
+        )),
+        PolicyKind::G10Gds | PolicyKind::G10Host | PolicyKind::G10Full => {
+            let variant = policy
+                .scheduler_variant()
+                .expect("G10 policies have a scheduler variant");
+            if !variant.extended_uvm() {
+                options.software_overhead_per_batch = CLASSIC_UVM_BATCH_OVERHEAD;
+            }
+            let plan =
+                G10Scheduler::new(*config, variant).plan(&workload.graph, planning_trace);
+            Box::new(G10Policy::new(plan, variant))
+        }
+    };
+    ReplayEngine::new(&workload.graph, &workload.trace, config, boxed, options).run()
+}
+
+/// Convenience wrapper: build the workload and replay it in one call.
+pub fn run_experiment(
+    model: ModelKind,
+    batch: u64,
+    policy: PolicyKind,
+    config: &SystemConfig,
+) -> SimReport {
+    let workload = Workload::new(model, batch);
+    run_policy(&workload, policy, config)
+}
+
+/// Runs `f` over `items` on multiple threads, preserving input order.
+/// Used by the experiment harness to sweep models / batch sizes / hardware
+/// configurations in parallel.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let result = f(&items[idx]);
+                results.lock()[idx] = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every item processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SystemConfig {
+        SystemConfig::table2().with_gpu_memory(64 << 20)
+    }
+
+    #[test]
+    fn policy_names_parse_round_trip() {
+        for p in [
+            PolicyKind::Ideal,
+            PolicyKind::BaseUvm,
+            PolicyKind::DeepUmPlus,
+            PolicyKind::FlashNeuron,
+            PolicyKind::G10Gds,
+            PolicyKind::G10Host,
+            PolicyKind::G10Full,
+        ] {
+            assert_eq!(p.label().parse::<PolicyKind>().unwrap(), p);
+        }
+        assert!("nope".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn g10_beats_base_uvm_on_a_constrained_gpu() {
+        let config = tiny_config();
+        let workload = Workload::new(ModelKind::TinyCnn, 64);
+        let ideal = run_policy(&workload, PolicyKind::Ideal, &config);
+        let base = run_policy(&workload, PolicyKind::BaseUvm, &config);
+        let g10 = run_policy(&workload, PolicyKind::G10Full, &config);
+        assert!(base.total_time > ideal.total_time);
+        assert!(g10.total_time <= base.total_time);
+        assert!(g10.normalized_performance() > base.normalized_performance());
+    }
+
+    #[test]
+    fn every_policy_produces_a_well_formed_report() {
+        let config = tiny_config();
+        let workload = Workload::new(ModelKind::TinyCnn, 32);
+        for policy in [
+            PolicyKind::Ideal,
+            PolicyKind::BaseUvm,
+            PolicyKind::DeepUmPlus,
+            PolicyKind::FlashNeuron,
+            PolicyKind::G10Gds,
+            PolicyKind::G10Host,
+            PolicyKind::G10Full,
+        ] {
+            let report = run_policy(&workload, policy, &config);
+            assert_eq!(report.policy, policy.label());
+            assert_eq!(report.kernel_slowdowns.len(), workload.graph.num_kernels());
+            assert!(report.total_time >= report.ideal_time);
+            assert!(report.normalized_performance() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let doubled = parallel_map(items.clone(), |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(empty, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn memory_ratio_reflects_footprint() {
+        let workload = Workload::new(ModelKind::TinyCnn, 64);
+        let config = tiny_config();
+        assert!(workload.memory_ratio(&config) > 1.0);
+        assert!(workload.memory_ratio(&SystemConfig::table2()) < 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Full-scale smoke test: one Figure-11 column, printed for inspection.
+
+use g10_core::config::SystemConfig;
+use g10_dnn::models::ModelKind;
+use g10_sim::runner::{run_policy, PolicyKind, Workload};
+
+#[test]
+#[ignore = "full-size models; run explicitly with --ignored --nocapture"]
+fn fig11_smoke() {
+    let config = SystemConfig::table2();
+    for model in ModelKind::PAPER_MODELS {
+        let t0 = std::time::Instant::now();
+        let workload = Workload::new(model, model.eval_batch());
+        println!("{} built in {:?}", model.name(), t0.elapsed());
+        for policy in [
+            PolicyKind::Ideal,
+            PolicyKind::BaseUvm,
+            PolicyKind::FlashNeuron,
+            PolicyKind::DeepUmPlus,
+            PolicyKind::G10Gds,
+            PolicyKind::G10Host,
+            PolicyKind::G10Full,
+        ] {
+            let t1 = std::time::Instant::now();
+            let report = run_policy(&workload, policy, &config);
+            println!(
+                "  {:12} perf={:5.1}% total={:8.2}s stall={:5.1}% ssd={:7.1}GB host={:7.1}GB faults={:8} [{:?}]",
+                report.policy,
+                report.normalized_performance() * 100.0,
+                report.total_time.as_secs_f64(),
+                report.stall_fraction() * 100.0,
+                report.traffic.ssd_total() as f64 / 1e9,
+                report.traffic.host_total() as f64 / 1e9,
+                report.fault_count,
+                t1.elapsed()
+            );
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! SSD geometry and timing configuration.
+
+use g10_time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of a simulated flash SSD.
+///
+/// The default ([`SsdConfig::z_nand_3_2tb`]) models the Samsung Z-NAND class
+/// device the paper configures in Table 2: 3.2 TB capacity, ~3.2 GB/s read
+/// and ~3.0 GB/s write sustained bandwidth, 20 µs / 16 µs device-level
+/// read / write latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsdConfig {
+    /// Number of independent flash channels.
+    pub channels: u64,
+    /// Flash chips (dies) per channel.
+    pub chips_per_channel: u64,
+    /// Planes per chip (multi-plane operations treated as parallel chips).
+    pub planes_per_chip: u64,
+    /// Blocks per plane.
+    pub blocks_per_plane: u64,
+    /// Pages per block.
+    pub pages_per_block: u64,
+    /// Page size in bytes (the paper manages tensors at 4 KiB granularity).
+    pub page_bytes: u64,
+    /// Flash array read latency (tR).
+    pub read_latency: Nanos,
+    /// Flash array program latency (tPROG).
+    pub program_latency: Nanos,
+    /// Block erase latency (tBERS).
+    pub erase_latency: Nanos,
+    /// Per-channel transfer bandwidth in bytes/s.
+    pub channel_bytes_per_sec: f64,
+    /// Fixed controller / FTL processing overhead per host command.
+    pub controller_overhead: Nanos,
+    /// Fraction of physical blocks kept as over-provisioning (not exposed as
+    /// logical capacity).
+    pub overprovisioning: f64,
+    /// Garbage collection starts when the fraction of free blocks drops
+    /// below this threshold.
+    pub gc_free_threshold: f64,
+}
+
+impl SsdConfig {
+    /// The 3.2 TB Z-NAND-class configuration of Table 2.
+    pub fn z_nand_3_2tb() -> Self {
+        SsdConfig {
+            channels: 8,
+            chips_per_channel: 8,
+            planes_per_chip: 2,
+            blocks_per_plane: 24_576,
+            pages_per_block: 256,
+            page_bytes: 4096,
+            read_latency: Nanos::from_micros(3),
+            program_latency: Nanos::from_micros(100),
+            erase_latency: Nanos::from_millis(1),
+            channel_bytes_per_sec: 400e6,
+            controller_overhead: Nanos::from_micros(8),
+            overprovisioning: 0.07,
+            gc_free_threshold: 0.05,
+        }
+    }
+
+    /// A deliberately small geometry (a few thousand pages) for unit tests,
+    /// property tests and examples that want to exercise garbage collection
+    /// quickly.
+    pub fn small_test() -> Self {
+        SsdConfig {
+            channels: 2,
+            chips_per_channel: 2,
+            planes_per_chip: 1,
+            blocks_per_plane: 16,
+            pages_per_block: 32,
+            page_bytes: 4096,
+            read_latency: Nanos::from_micros(3),
+            program_latency: Nanos::from_micros(100),
+            erase_latency: Nanos::from_millis(1),
+            channel_bytes_per_sec: 400e6,
+            controller_overhead: Nanos::from_micros(8),
+            overprovisioning: 0.25,
+            gc_free_threshold: 0.125,
+        }
+    }
+
+    /// Total number of physical blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.channels * self.chips_per_channel * self.planes_per_chip * self.blocks_per_plane
+    }
+
+    /// Total number of physical pages.
+    pub fn total_physical_pages(&self) -> u64 {
+        self.total_blocks() * self.pages_per_block
+    }
+
+    /// Physical capacity in bytes.
+    pub fn physical_capacity_bytes(&self) -> u64 {
+        self.total_physical_pages() * self.page_bytes
+    }
+
+    /// Number of logical pages exposed to the host (physical minus
+    /// over-provisioning).
+    pub fn logical_pages(&self) -> u64 {
+        let pages = self.total_physical_pages() as f64 * (1.0 - self.overprovisioning);
+        pages.floor() as u64
+    }
+
+    /// Logical capacity in bytes.
+    pub fn logical_capacity_bytes(&self) -> u64 {
+        self.logical_pages() * self.page_bytes
+    }
+
+    /// Number of chips (dies) across the device; planes count as independent
+    /// execution units.
+    pub fn total_chips(&self) -> u64 {
+        self.channels * self.chips_per_channel * self.planes_per_chip
+    }
+
+    /// Time to move one page over a channel.
+    pub fn page_transfer_time(&self) -> Nanos {
+        Nanos::transfer_time(self.page_bytes, self.channel_bytes_per_sec)
+    }
+
+    /// Back-of-the-envelope sustained read bandwidth in bytes/s: every
+    /// channel streams pages back to back (the flash array read latency is
+    /// hidden by interleaving across the chips behind the channel).
+    pub fn nominal_read_bandwidth(&self) -> f64 {
+        self.channels as f64 * self.channel_bytes_per_sec
+    }
+
+    /// Back-of-the-envelope sustained write bandwidth in bytes/s: the lower
+    /// of channel streaming rate and the aggregate program throughput of the
+    /// chips behind each channel.
+    pub fn nominal_write_bandwidth(&self) -> f64 {
+        let per_channel_program = self.chips_per_channel as f64
+            * self.planes_per_chip as f64
+            * self.page_bytes as f64
+            / self.program_latency.as_secs_f64().max(1e-12);
+        self.channels as f64 * per_channel_program.min(self.channel_bytes_per_sec)
+    }
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        SsdConfig::z_nand_3_2tb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_capacity_is_about_3_2_tb() {
+        let cfg = SsdConfig::z_nand_3_2tb();
+        let tb = cfg.physical_capacity_bytes() as f64 / 1e12;
+        assert!((3.0..3.5).contains(&tb), "capacity was {tb:.2} TB");
+        assert!(cfg.logical_capacity_bytes() < cfg.physical_capacity_bytes());
+    }
+
+    #[test]
+    fn table2_bandwidths_are_about_3_gbps() {
+        let cfg = SsdConfig::z_nand_3_2tb();
+        let read = cfg.nominal_read_bandwidth() / 1e9;
+        let write = cfg.nominal_write_bandwidth() / 1e9;
+        assert!((2.8..3.6).contains(&read), "read bw {read:.2} GB/s");
+        assert!((2.5..3.4).contains(&write), "write bw {write:.2} GB/s");
+    }
+
+    #[test]
+    fn small_test_geometry_is_small() {
+        let cfg = SsdConfig::small_test();
+        assert!(cfg.total_physical_pages() < 10_000);
+        assert!(cfg.logical_pages() < cfg.total_physical_pages());
+    }
+
+    #[test]
+    fn derived_quantities_are_consistent() {
+        let cfg = SsdConfig::default();
+        assert_eq!(
+            cfg.total_physical_pages(),
+            cfg.total_blocks() * cfg.pages_per_block
+        );
+        assert_eq!(
+            cfg.physical_capacity_bytes(),
+            cfg.total_physical_pages() * cfg.page_bytes
+        );
+        assert!(cfg.page_transfer_time() > Nanos::ZERO);
+        assert_eq!(cfg.total_chips(), 8 * 8 * 2);
+    }
+}

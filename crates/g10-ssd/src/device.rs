@@ -1,0 +1,367 @@
+//! The SSD device front-end: host reads and writes with completion-time
+//! computation under channel and chip contention, plus device statistics.
+
+use crate::config::SsdConfig;
+use crate::error::SsdError;
+use crate::flash::{BusyResource, Chip};
+use crate::ftl::{Ftl, GcEvent, Ppn};
+use g10_time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Device-level statistics accumulated since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SsdStats {
+    /// Host page reads served.
+    pub host_reads: u64,
+    /// Host page writes served.
+    pub host_writes: u64,
+    /// Bytes read by the host.
+    pub bytes_read: u64,
+    /// Bytes written by the host.
+    pub bytes_written: u64,
+    /// Pages relocated internally by garbage collection.
+    pub gc_page_moves: u64,
+    /// Blocks erased.
+    pub block_erases: u64,
+    /// Total time host commands spent being serviced (sum of latencies).
+    pub total_service_time: Nanos,
+}
+
+impl SsdStats {
+    /// Write amplification factor (flash programs per host write).
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_writes == 0 {
+            1.0
+        } else {
+            (self.host_writes + self.gc_page_moves) as f64 / self.host_writes as f64
+        }
+    }
+
+    /// Mean host-command latency.
+    pub fn mean_latency(&self) -> Nanos {
+        let commands = self.host_reads + self.host_writes;
+        if commands == 0 {
+            Nanos::ZERO
+        } else {
+            self.total_service_time / commands
+        }
+    }
+}
+
+/// A simulated flash SSD: page-mapping FTL plus channel/chip timing.
+///
+/// # Example
+///
+/// ```
+/// use g10_ssd::{Ssd, SsdConfig};
+/// use g10_time::Nanos;
+///
+/// let mut ssd = Ssd::new(SsdConfig::small_test());
+/// let write_done = ssd.write(0, Nanos::ZERO)?;
+/// let read_done = ssd.read(0, write_done)?;
+/// assert!(read_done > write_done);
+/// # Ok::<(), g10_ssd::SsdError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ssd {
+    cfg: SsdConfig,
+    ftl: Ftl,
+    channels: Vec<BusyResource>,
+    chips: Vec<Chip>,
+    stats: SsdStats,
+}
+
+impl Ssd {
+    /// Creates a fresh (fully erased) device.
+    pub fn new(cfg: SsdConfig) -> Self {
+        Ssd {
+            ftl: Ftl::new(cfg),
+            channels: vec![BusyResource::new(); cfg.channels as usize],
+            chips: vec![Chip::new(); cfg.total_chips() as usize],
+            stats: SsdStats::default(),
+            cfg,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SsdStats {
+        &self.stats
+    }
+
+    /// The flash translation layer (read-only view, useful for inspection in
+    /// tests and tools).
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Reads one logical page, returning the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the page was never written or is beyond the device capacity.
+    pub fn read(&mut self, lpn: u64, now: Nanos) -> Result<Nanos, SsdError> {
+        let ppn = self.ftl.translate(lpn)?;
+        let issue = now + self.cfg.controller_overhead;
+        let done = self.time_read(ppn, issue);
+        self.stats.host_reads += 1;
+        self.stats.bytes_read += self.cfg.page_bytes;
+        self.stats.total_service_time += done.saturating_sub(now);
+        Ok(done)
+    }
+
+    /// Writes one logical page, returning the completion time (including any
+    /// garbage collection triggered by the write).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the page is beyond the device capacity or the device is full.
+    pub fn write(&mut self, lpn: u64, now: Nanos) -> Result<Nanos, SsdError> {
+        let issue = now + self.cfg.controller_overhead;
+        let outcome = self.ftl.write(lpn)?;
+        let mut done = self.time_program(outcome.ppn, issue);
+        for event in &outcome.gc_events {
+            let gc_done = self.time_gc(event, issue);
+            done = done.max(gc_done);
+        }
+        self.sync_ftl_stats();
+        self.stats.host_writes += 1;
+        self.stats.bytes_written += self.cfg.page_bytes;
+        self.stats.total_service_time += done.saturating_sub(now);
+        Ok(done)
+    }
+
+    /// Explicitly discards a logical page (tensor freed); its flash copy no
+    /// longer needs relocation during garbage collection.
+    pub fn trim(&mut self, lpn: u64) {
+        self.ftl.trim(lpn);
+    }
+
+    /// Reads `count` consecutive logical pages starting at `start_lpn` and
+    /// returns the completion time of the last one.  Pages are issued
+    /// back-to-back so channel parallelism is exploited.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first unmapped or out-of-range page.
+    pub fn read_bulk(&mut self, start_lpn: u64, count: u64, now: Nanos) -> Result<Nanos, SsdError> {
+        let mut done = now;
+        for lpn in start_lpn..start_lpn + count {
+            done = done.max(self.read(lpn, now)?);
+        }
+        Ok(done)
+    }
+
+    /// Writes `count` consecutive logical pages starting at `start_lpn` and
+    /// returns the completion time of the last one.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first out-of-range page or if the device fills up.
+    pub fn write_bulk(
+        &mut self,
+        start_lpn: u64,
+        count: u64,
+        now: Nanos,
+    ) -> Result<Nanos, SsdError> {
+        let mut done = now;
+        for lpn in start_lpn..start_lpn + count {
+            done = done.max(self.write(lpn, now)?);
+        }
+        Ok(done)
+    }
+
+    /// Measured sustained write bandwidth (bytes/s) over everything written
+    /// so far, derived from the busiest channel's occupancy.  Returns `None`
+    /// until at least one write has been issued.
+    pub fn observed_write_bandwidth(&self) -> Option<f64> {
+        if self.stats.host_writes == 0 {
+            return None;
+        }
+        let busiest = self
+            .channels
+            .iter()
+            .map(|c| c.free_at())
+            .max()
+            .unwrap_or(Nanos::ZERO);
+        if busiest.is_zero() {
+            return None;
+        }
+        Some(self.stats.bytes_written as f64 / busiest.as_secs_f64())
+    }
+
+    fn sync_ftl_stats(&mut self) {
+        let ftl = self.ftl.stats();
+        self.stats.gc_page_moves = ftl.gc_page_moves;
+        self.stats.block_erases = ftl.block_erases;
+    }
+
+    /// Array read (tR on the chip) followed by the channel transfer out.
+    fn time_read(&mut self, ppn: Ppn, issue: Nanos) -> Nanos {
+        let channel_idx = self.ftl.channel_of(ppn.block) as usize;
+        let chip_idx = self.ftl.chip_of(ppn.block) as usize;
+        let (_, array_done) = self.chips[chip_idx]
+            .timing
+            .reserve(issue, self.cfg.read_latency);
+        let (_, xfer_done) =
+            self.channels[channel_idx].reserve(array_done, self.cfg.page_transfer_time());
+        xfer_done
+    }
+
+    /// Channel transfer in followed by the program (tPROG) on the chip.
+    fn time_program(&mut self, ppn: Ppn, issue: Nanos) -> Nanos {
+        let channel_idx = self.ftl.channel_of(ppn.block) as usize;
+        let chip_idx = self.ftl.chip_of(ppn.block) as usize;
+        let (_, xfer_done) =
+            self.channels[channel_idx].reserve(issue, self.cfg.page_transfer_time());
+        let (_, prog_done) = self.chips[chip_idx]
+            .timing
+            .reserve(xfer_done, self.cfg.program_latency);
+        prog_done
+    }
+
+    /// Garbage collection: read + program for every relocated page, then an
+    /// erase on the victim's chip.
+    fn time_gc(&mut self, event: &GcEvent, issue: Nanos) -> Nanos {
+        let mut done = issue;
+        for mv in &event.moves {
+            let read_done = self.time_read(mv.from, issue);
+            let write_done = self.time_program(mv.to, read_done);
+            done = done.max(write_done);
+        }
+        let chip_idx = self.ftl.chip_of(event.victim_block) as usize;
+        let (_, erase_done) = self.chips[chip_idx]
+            .timing
+            .reserve(done, self.cfg.erase_latency);
+        self.chips[chip_idx].erase_count += 1;
+        erase_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Ssd {
+        Ssd::new(SsdConfig::small_test())
+    }
+
+    #[test]
+    fn single_write_latency_is_in_the_device_class() {
+        let mut ssd = device();
+        let done = ssd.write(0, Nanos::ZERO).unwrap();
+        // controller overhead + transfer + program ≈ 8 + 10 + 100 µs.
+        let us = done.as_micros_f64();
+        assert!((50.0..300.0).contains(&us), "write latency {us:.1} µs");
+    }
+
+    #[test]
+    fn single_read_latency_is_in_the_device_class() {
+        let mut ssd = device();
+        let t = ssd.write(0, Nanos::ZERO).unwrap();
+        let done = ssd.read(0, t).unwrap();
+        let us = (done - t).as_micros_f64();
+        // controller overhead + tR + transfer ≈ 8 + 3 + 10 µs: the same
+        // order as the 20 µs device read latency of Table 2.
+        assert!((5.0..60.0).contains(&us), "read latency {us:.1} µs");
+    }
+
+    #[test]
+    fn reads_of_unwritten_pages_fail() {
+        let mut ssd = device();
+        assert!(matches!(
+            ssd.read(9, Nanos::ZERO),
+            Err(SsdError::UnmappedRead { .. })
+        ));
+    }
+
+    #[test]
+    fn bulk_writes_exploit_channel_parallelism() {
+        let mut ssd = device();
+        let pages = 64;
+        let done = ssd.write_bulk(0, pages, Nanos::ZERO).unwrap();
+        let serial_estimate = ssd.config().program_latency * pages;
+        assert!(
+            done < serial_estimate,
+            "bulk write {done} should beat fully serial {serial_estimate}"
+        );
+        assert_eq!(ssd.stats().host_writes, pages);
+    }
+
+    #[test]
+    fn sequential_overwrites_trigger_gc_without_amplification() {
+        // Round-robin overwrites fully invalidate victim blocks, so garbage
+        // collection erases blocks but never needs to relocate valid pages.
+        let mut ssd = device();
+        let logical = ssd.config().logical_pages();
+        let mut now = Nanos::ZERO;
+        for i in 0..logical * 2 {
+            now = ssd.write(i % (logical / 2), now).unwrap();
+        }
+        assert!(ssd.stats().block_erases > 0);
+        assert!(ssd.stats().write_amplification() >= 1.0);
+        assert!(ssd.stats().mean_latency() > Nanos::ZERO);
+    }
+
+    #[test]
+    fn hot_cold_overwrites_amplify_writes() {
+        // Fill the device once, then repeatedly overwrite only every fourth
+        // page: victim blocks now hold a mix of valid (cold) and invalid
+        // (hot) pages, so garbage collection must relocate the cold ones.
+        let mut ssd = device();
+        let logical = ssd.config().logical_pages();
+        let mut now = Nanos::ZERO;
+        for lpn in 0..logical {
+            now = ssd.write(lpn, now).unwrap();
+        }
+        for round in 0..6 {
+            for lpn in (0..logical).step_by(4) {
+                now = ssd.write(lpn, now).unwrap();
+                let _ = round;
+            }
+        }
+        assert!(ssd.stats().block_erases > 0);
+        assert!(
+            ssd.stats().write_amplification() > 1.0,
+            "hot/cold workload should relocate cold pages (WAF was {:.2})",
+            ssd.stats().write_amplification()
+        );
+    }
+
+    #[test]
+    fn trim_reduces_gc_work() {
+        let cfg = SsdConfig::small_test();
+        let logical = cfg.logical_pages();
+        // Workload A: overwrite without trimming.
+        let mut a = Ssd::new(cfg);
+        let mut now = Nanos::ZERO;
+        for i in 0..logical * 2 {
+            now = a.write(i % logical, now).unwrap();
+        }
+        // Workload B: trim pages before rewriting them.
+        let mut b = Ssd::new(cfg);
+        let mut now = Nanos::ZERO;
+        for i in 0..logical * 2 {
+            let lpn = i % logical;
+            b.trim(lpn);
+            now = b.write(lpn, now).unwrap();
+        }
+        assert!(
+            b.stats().gc_page_moves <= a.stats().gc_page_moves,
+            "trimmed workload should not relocate more pages"
+        );
+    }
+
+    #[test]
+    fn observed_bandwidth_is_reported_after_writes() {
+        let mut ssd = device();
+        assert!(ssd.observed_write_bandwidth().is_none());
+        ssd.write_bulk(0, 256, Nanos::ZERO).unwrap();
+        let bw = ssd.observed_write_bandwidth().unwrap();
+        assert!(bw > 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for the SSD simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the SSD device model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdError {
+    /// A read targeted a logical page that has never been written.
+    UnmappedRead {
+        /// The logical page number of the failed read.
+        lpn: u64,
+    },
+    /// A logical page number beyond the advertised capacity was used.
+    OutOfRange {
+        /// The offending logical page number.
+        lpn: u64,
+        /// Number of logical pages the device exposes.
+        capacity_pages: u64,
+    },
+    /// The device ran out of free blocks even after garbage collection
+    /// (write working set exceeds physical capacity).
+    DeviceFull,
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::UnmappedRead { lpn } => {
+                write!(f, "read of unmapped logical page {lpn}")
+            }
+            SsdError::OutOfRange {
+                lpn,
+                capacity_pages,
+            } => write!(
+                f,
+                "logical page {lpn} is beyond the device capacity of {capacity_pages} pages"
+            ),
+            SsdError::DeviceFull => write!(f, "no free flash blocks remain after garbage collection"),
+        }
+    }
+}
+
+impl Error for SsdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let errors = [
+            SsdError::UnmappedRead { lpn: 7 },
+            SsdError::OutOfRange {
+                lpn: 100,
+                capacity_pages: 10,
+            },
+            SsdError::DeviceFull,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Flash translation layer: logical-to-physical page mapping, out-of-place
+//! writes, per-block validity tracking and greedy garbage collection.
+
+use crate::config::SsdConfig;
+use crate::error::SsdError;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// A physical page number: block index plus page offset within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ppn {
+    /// Physical block index (0 .. total_blocks).
+    pub block: u64,
+    /// Page offset inside the block (0 .. pages_per_block).
+    pub page: u64,
+}
+
+/// One valid-page relocation performed by garbage collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcMove {
+    /// Where the page lived before collection.
+    pub from: Ppn,
+    /// Where the page was rewritten.
+    pub to: Ppn,
+}
+
+/// The result of one garbage-collection pass over a single victim block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcEvent {
+    /// The block that was collected and erased.
+    pub victim_block: u64,
+    /// The valid pages that had to be relocated.
+    pub moves: Vec<GcMove>,
+}
+
+/// Outcome of a host page write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Physical destination of the host write.
+    pub ppn: Ppn,
+    /// Garbage-collection work triggered by this write (usually empty).
+    pub gc_events: Vec<GcEvent>,
+}
+
+/// FTL statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FtlStats {
+    /// Pages written on behalf of the host.
+    pub host_page_writes: u64,
+    /// Pages relocated by garbage collection.
+    pub gc_page_moves: u64,
+    /// Blocks erased.
+    pub block_erases: u64,
+}
+
+impl FtlStats {
+    /// Write amplification factor: total flash page programs divided by host
+    /// page writes (1.0 when no garbage collection has happened).
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_page_writes == 0 {
+            1.0
+        } else {
+            (self.host_page_writes + self.gc_page_moves) as f64 / self.host_page_writes as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct BlockMeta {
+    /// Next free page offset (== pages written so far).
+    written: u64,
+    /// Number of still-valid pages.
+    valid_count: u64,
+    /// Per-page validity; allocated lazily when the block is first opened.
+    valid: Vec<bool>,
+    /// The logical page stored in each slot (for GC relocation).
+    lpns: Vec<u64>,
+}
+
+/// Page-mapping flash translation layer.
+#[derive(Debug, Clone)]
+pub struct Ftl {
+    cfg: SsdConfig,
+    map: HashMap<u64, Ppn>,
+    blocks: Vec<BlockMeta>,
+    /// Free blocks per channel.
+    free_blocks: Vec<VecDeque<u64>>,
+    /// Currently open (actively written) block per channel.
+    open_blocks: Vec<Option<u64>>,
+    /// Round-robin channel selector for host writes.
+    next_channel: u64,
+    stats: FtlStats,
+}
+
+impl Ftl {
+    /// Creates an FTL with every block free.
+    pub fn new(cfg: SsdConfig) -> Self {
+        let total_blocks = cfg.total_blocks();
+        let channels = cfg.channels;
+        let mut free_blocks: Vec<VecDeque<u64>> = vec![VecDeque::new(); channels as usize];
+        for block in 0..total_blocks {
+            free_blocks[(block % channels) as usize].push_back(block);
+        }
+        Ftl {
+            cfg,
+            map: HashMap::new(),
+            blocks: vec![BlockMeta::default(); total_blocks as usize],
+            free_blocks,
+            open_blocks: vec![None; channels as usize],
+            next_channel: 0,
+            stats: FtlStats::default(),
+        }
+    }
+
+    /// The configuration this FTL was built with.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    /// The channel a physical block belongs to.
+    pub fn channel_of(&self, block: u64) -> u64 {
+        block % self.cfg.channels
+    }
+
+    /// The globally flattened chip (die × plane) index a block belongs to,
+    /// used to pick the timing resource for array operations.
+    pub fn chip_of(&self, block: u64) -> u64 {
+        let channels = self.cfg.channels;
+        let per_channel = self.cfg.chips_per_channel * self.cfg.planes_per_chip;
+        let within_channel = (block / channels) % per_channel;
+        self.channel_of(block) * per_channel + within_channel
+    }
+
+    /// Number of free (erased, unopened) blocks.
+    pub fn free_block_count(&self) -> u64 {
+        self.free_blocks.iter().map(|q| q.len() as u64).sum()
+    }
+
+    /// Number of mapped logical pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// Looks up the physical location of a logical page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::OutOfRange`] for pages beyond the logical capacity
+    /// and [`SsdError::UnmappedRead`] for pages that were never written.
+    pub fn translate(&self, lpn: u64) -> Result<Ppn, SsdError> {
+        self.check_range(lpn)?;
+        self.map
+            .get(&lpn)
+            .copied()
+            .ok_or(SsdError::UnmappedRead { lpn })
+    }
+
+    /// Returns `true` if the logical page has been written.
+    pub fn is_mapped(&self, lpn: u64) -> bool {
+        self.map.contains_key(&lpn)
+    }
+
+    /// Writes a logical page out of place, invalidating any previous copy,
+    /// and runs garbage collection if the free-block pool dropped below the
+    /// configured threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::OutOfRange`] for pages beyond the logical capacity
+    /// and [`SsdError::DeviceFull`] if no free block can be found even after
+    /// garbage collection.
+    pub fn write(&mut self, lpn: u64) -> Result<WriteOutcome, SsdError> {
+        self.check_range(lpn)?;
+        // Invalidate the previous copy, if any.
+        if let Some(old) = self.map.get(&lpn).copied() {
+            self.invalidate(old);
+        }
+        let channel = self.next_channel;
+        self.next_channel = (self.next_channel + 1) % self.cfg.channels;
+        let ppn = self.append_page(channel, lpn)?;
+        self.map.insert(lpn, ppn);
+        self.stats.host_page_writes += 1;
+
+        let mut gc_events = Vec::new();
+        while self.needs_gc() {
+            match self.collect_one() {
+                Some(event) => gc_events.push(event),
+                None => break,
+            }
+        }
+        Ok(WriteOutcome { ppn, gc_events })
+    }
+
+    /// Explicitly discards a logical page (e.g. when a tensor is freed), so
+    /// its flash copy no longer needs to be preserved by garbage collection.
+    pub fn trim(&mut self, lpn: u64) {
+        if let Some(old) = self.map.remove(&lpn) {
+            self.invalidate(old);
+        }
+    }
+
+    fn check_range(&self, lpn: u64) -> Result<(), SsdError> {
+        let capacity_pages = self.cfg.logical_pages();
+        if lpn >= capacity_pages {
+            Err(SsdError::OutOfRange {
+                lpn,
+                capacity_pages,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn invalidate(&mut self, ppn: Ppn) {
+        let block = &mut self.blocks[ppn.block as usize];
+        if let Some(slot) = block.valid.get_mut(ppn.page as usize) {
+            if *slot {
+                *slot = false;
+                block.valid_count -= 1;
+            }
+        }
+    }
+
+    /// Appends a page to the open block of `channel`, opening a new block
+    /// from the free pool if necessary.
+    fn append_page(&mut self, channel: u64, lpn: u64) -> Result<Ppn, SsdError> {
+        let pages_per_block = self.cfg.pages_per_block;
+        let block_id = match self.open_blocks[channel as usize] {
+            Some(b) if self.blocks[b as usize].written < pages_per_block => b,
+            _ => {
+                let fresh = self.pop_free_block(channel)?;
+                self.open_blocks[channel as usize] = Some(fresh);
+                let meta = &mut self.blocks[fresh as usize];
+                meta.written = 0;
+                meta.valid_count = 0;
+                meta.valid = vec![false; pages_per_block as usize];
+                meta.lpns = vec![u64::MAX; pages_per_block as usize];
+                fresh
+            }
+        };
+        let meta = &mut self.blocks[block_id as usize];
+        let page = meta.written;
+        meta.written += 1;
+        meta.valid[page as usize] = true;
+        meta.lpns[page as usize] = lpn;
+        meta.valid_count += 1;
+        Ok(Ppn {
+            block: block_id,
+            page,
+        })
+    }
+
+    fn pop_free_block(&mut self, channel: u64) -> Result<u64, SsdError> {
+        if let Some(b) = self.free_blocks[channel as usize].pop_front() {
+            return Ok(b);
+        }
+        // Steal from another channel rather than failing outright.
+        for queue in &mut self.free_blocks {
+            if let Some(b) = queue.pop_front() {
+                return Ok(b);
+            }
+        }
+        Err(SsdError::DeviceFull)
+    }
+
+    /// Returns `true` when the free-block pool is below the GC threshold.
+    pub fn needs_gc(&self) -> bool {
+        let total = self.cfg.total_blocks() as f64;
+        (self.free_block_count() as f64) / total < self.cfg.gc_free_threshold
+    }
+
+    /// Collects the fullest victim (fewest valid pages) that is neither free
+    /// nor currently open, relocating its valid pages and erasing it.
+    /// Returns `None` if no suitable victim exists.
+    pub fn collect_one(&mut self) -> Option<GcEvent> {
+        let victim = self.pick_victim()?;
+        let pages_per_block = self.cfg.pages_per_block as usize;
+        let victim_channel = self.channel_of(victim);
+
+        let mut moves = Vec::new();
+        for page in 0..pages_per_block {
+            let (is_valid, lpn) = {
+                let meta = &self.blocks[victim as usize];
+                (
+                    meta.valid.get(page).copied().unwrap_or(false),
+                    meta.lpns.get(page).copied().unwrap_or(u64::MAX),
+                )
+            };
+            if !is_valid {
+                continue;
+            }
+            // Relocate to the same channel to keep striping balanced.
+            let new_ppn = self
+                .append_page(victim_channel, lpn)
+                .unwrap_or_else(|_| panic!("garbage collection ran out of blocks"));
+            self.map.insert(lpn, new_ppn);
+            self.stats.gc_page_moves += 1;
+            moves.push(GcMove {
+                from: Ppn {
+                    block: victim,
+                    page: page as u64,
+                },
+                to: new_ppn,
+            });
+        }
+
+        // Erase the victim and return it to the free pool.
+        let meta = &mut self.blocks[victim as usize];
+        meta.written = 0;
+        meta.valid_count = 0;
+        meta.valid.clear();
+        meta.lpns.clear();
+        self.stats.block_erases += 1;
+        self.free_blocks[victim_channel as usize].push_back(victim);
+
+        Some(GcEvent {
+            victim_block: victim,
+            moves,
+        })
+    }
+
+    fn pick_victim(&self) -> Option<u64> {
+        let open: Vec<u64> = self.open_blocks.iter().flatten().copied().collect();
+        let mut best: Option<(u64, u64)> = None; // (valid_count, block)
+        for (idx, meta) in self.blocks.iter().enumerate() {
+            let block = idx as u64;
+            if meta.written == 0 || open.contains(&block) {
+                continue; // free or open
+            }
+            // Only consider fully written blocks (classic greedy GC).
+            if meta.written < self.cfg.pages_per_block {
+                continue;
+            }
+            match best {
+                Some((valid, _)) if meta.valid_count >= valid => {}
+                _ => best = Some((meta.valid_count, block)),
+            }
+        }
+        best.map(|(_, block)| block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ftl() -> Ftl {
+        Ftl::new(SsdConfig::small_test())
+    }
+
+    #[test]
+    fn write_then_translate_round_trips() {
+        let mut f = ftl();
+        let out = f.write(10).unwrap();
+        assert_eq!(f.translate(10).unwrap(), out.ppn);
+        assert!(f.is_mapped(10));
+        assert!(!f.is_mapped(11));
+    }
+
+    #[test]
+    fn unmapped_and_out_of_range_reads_error() {
+        let f = ftl();
+        assert!(matches!(f.translate(5), Err(SsdError::UnmappedRead { .. })));
+        let huge = f.config().logical_pages() + 1;
+        assert!(matches!(
+            f.translate(huge),
+            Err(SsdError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn overwrites_invalidate_old_copies() {
+        let mut f = ftl();
+        let first = f.write(3).unwrap().ppn;
+        let second = f.write(3).unwrap().ppn;
+        assert_ne!(first, second, "out-of-place writes must relocate the page");
+        assert_eq!(f.translate(3).unwrap(), second);
+        assert_eq!(f.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut f = ftl();
+        f.write(3).unwrap();
+        f.trim(3);
+        assert!(!f.is_mapped(3));
+        // Trimming an unmapped page is a no-op.
+        f.trim(4);
+    }
+
+    #[test]
+    fn writes_stripe_across_channels() {
+        let mut f = ftl();
+        let a = f.write(0).unwrap().ppn;
+        let b = f.write(1).unwrap().ppn;
+        assert_ne!(f.channel_of(a.block), f.channel_of(b.block));
+    }
+
+    #[test]
+    fn sustained_overwrites_trigger_gc_and_stay_bounded() {
+        let mut f = ftl();
+        let logical = f.config().logical_pages();
+        // Write the whole logical space twice over a small working set of
+        // LPNs so garbage collection must reclaim space.
+        for i in 0..(logical * 2) {
+            f.write(i % (logical / 2)).unwrap();
+        }
+        let stats = f.stats();
+        assert!(stats.block_erases > 0, "GC should have erased blocks");
+        assert!(stats.write_amplification() >= 1.0);
+        // Every mapped page must still translate correctly.
+        for lpn in 0..(logical / 2) {
+            f.translate(lpn).unwrap();
+        }
+    }
+
+    #[test]
+    fn chip_indexing_is_within_bounds() {
+        let f = ftl();
+        let cfg = *f.config();
+        for block in 0..cfg.total_blocks() {
+            assert!(f.channel_of(block) < cfg.channels);
+            assert!(f.chip_of(block) < cfg.total_chips());
+        }
+    }
+
+    #[test]
+    fn write_amplification_is_one_without_gc() {
+        let mut f = ftl();
+        for lpn in 0..16 {
+            f.write(lpn).unwrap();
+        }
+        assert_eq!(f.stats().write_amplification(), 1.0);
+        assert_eq!(FtlStats::default().write_amplification(), 1.0);
+    }
+}

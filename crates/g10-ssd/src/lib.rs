@@ -1,0 +1,43 @@
+//! Flash SSD simulator substrate for the G10 reproduction.
+//!
+//! The paper evaluates G10 on a simulator that incorporates an SSD model
+//! based on SSDSim so that flash-internal activities (channel/chip
+//! contention, garbage collection) are reflected in end-to-end results, and
+//! §7.7 analyses the impact of tensor migration traffic on SSD lifetime.
+//! This crate rebuilds that substrate:
+//!
+//! * [`config`] — SSD geometry and timing ([`SsdConfig`]), with a preset
+//!   matching the Samsung Z-NAND-class 3.2 TB device of Table 2.
+//! * [`flash`] — channel and chip timing state machines.
+//! * [`ftl`] — a page-mapping flash translation layer with out-of-place
+//!   writes, per-block validity tracking and greedy garbage collection.
+//! * [`device`] — the [`Ssd`] device front-end: host reads/writes (single
+//!   page and bulk), completion-time computation under channel/chip
+//!   contention, and statistics (write amplification, erase counts).
+//! * [`endurance`] — the drive-writes-per-day lifetime model used by the
+//!   paper's §7.7 analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use g10_ssd::{Ssd, SsdConfig};
+//! use g10_time::Nanos;
+//!
+//! let mut ssd = Ssd::new(SsdConfig::small_test());
+//! let done = ssd.write(42, Nanos::ZERO).unwrap();
+//! let read_done = ssd.read(42, done).unwrap();
+//! assert!(read_done > done);
+//! assert_eq!(ssd.stats().host_writes, 1);
+//! ```
+
+pub mod config;
+pub mod device;
+pub mod endurance;
+pub mod error;
+pub mod flash;
+pub mod ftl;
+
+pub use config::SsdConfig;
+pub use device::{Ssd, SsdStats};
+pub use endurance::EnduranceModel;
+pub use error::SsdError;

@@ -1,0 +1,206 @@
+//! Migration metadata queues, the migration arbiter and transfer sets.
+//!
+//! Figure 10 of the paper shows the runtime path of a migration: `g10_*`
+//! calls enqueue migration metadata into per-kind queues, the migration
+//! arbiter drains them by priority (page faults first, then prefetches, then
+//! pre-evictions) into batched *transfer sets*, and the DMA / direct-storage
+//! engines execute each batch.  This module models the queues and the
+//! arbiter; the execution engines live in [`crate::uvm`].
+
+use crate::page::MemKind;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The kind of migration a queued request represents, in decreasing priority
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MigrationKind {
+    /// Demand fault service: a kernel is stalled waiting for this data.
+    Fault,
+    /// Planned prefetch back into GPU memory.
+    Prefetch,
+    /// Planned pre-eviction out of GPU memory.
+    PreEvict,
+}
+
+impl MigrationKind {
+    /// All kinds in arbitration (priority) order.
+    pub const PRIORITY_ORDER: [MigrationKind; 3] = [
+        MigrationKind::Fault,
+        MigrationKind::Prefetch,
+        MigrationKind::PreEvict,
+    ];
+}
+
+/// One queued migration request (tensor- or batch-granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationRequest {
+    /// An opaque identifier chosen by the caller (e.g. the tensor id).
+    pub id: u64,
+    /// Number of bytes to move.
+    pub bytes: u64,
+    /// Where the data currently lives.
+    pub source: MemKind,
+    /// Where the data should end up.
+    pub destination: MemKind,
+    /// What kind of migration this is (determines its priority).
+    pub kind: MigrationKind,
+}
+
+/// A batch of migrations selected by the arbiter for back-to-back execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferSet {
+    /// The selected requests, in issue order.
+    pub requests: Vec<MigrationRequest>,
+}
+
+impl TransferSet {
+    /// Total bytes in the batch.
+    pub fn total_bytes(&self) -> u64 {
+        self.requests.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Returns `true` if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Bytes in the batch that travel between the GPU and the SSD.
+    pub fn ssd_bytes(&self) -> u64 {
+        self.requests
+            .iter()
+            .filter(|r| r.source == MemKind::Flash || r.destination == MemKind::Flash)
+            .map(|r| r.bytes)
+            .sum()
+    }
+}
+
+/// The migration arbiter: three priority queues drained into transfer sets.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationArbiter {
+    fault_queue: VecDeque<MigrationRequest>,
+    prefetch_queue: VecDeque<MigrationRequest>,
+    evict_queue: VecDeque<MigrationRequest>,
+}
+
+impl MigrationArbiter {
+    /// Creates an arbiter with empty queues.
+    pub fn new() -> Self {
+        MigrationArbiter::default()
+    }
+
+    /// Enqueues a request into the queue matching its kind.
+    pub fn enqueue(&mut self, request: MigrationRequest) {
+        match request.kind {
+            MigrationKind::Fault => self.fault_queue.push_back(request),
+            MigrationKind::Prefetch => self.prefetch_queue.push_back(request),
+            MigrationKind::PreEvict => self.evict_queue.push_back(request),
+        }
+    }
+
+    /// Number of requests waiting across all queues.
+    pub fn pending(&self) -> usize {
+        self.fault_queue.len() + self.prefetch_queue.len() + self.evict_queue.len()
+    }
+
+    /// Number of requests waiting in the queue of one kind.
+    pub fn pending_of(&self, kind: MigrationKind) -> usize {
+        match kind {
+            MigrationKind::Fault => self.fault_queue.len(),
+            MigrationKind::Prefetch => self.prefetch_queue.len(),
+            MigrationKind::PreEvict => self.evict_queue.len(),
+        }
+    }
+
+    /// Drains up to `max_bytes` of requests into a transfer set, always
+    /// serving higher-priority queues first.  At least one request is
+    /// returned if any is pending, even if it alone exceeds `max_bytes`
+    /// (requests are never split by the arbiter).
+    pub fn next_transfer_set(&mut self, max_bytes: u64) -> TransferSet {
+        let mut set = TransferSet::default();
+        let mut budget = max_bytes;
+        for kind in MigrationKind::PRIORITY_ORDER {
+            let queue = match kind {
+                MigrationKind::Fault => &mut self.fault_queue,
+                MigrationKind::Prefetch => &mut self.prefetch_queue,
+                MigrationKind::PreEvict => &mut self.evict_queue,
+            };
+            while let Some(front) = queue.front().copied() {
+                let first_overall = set.is_empty();
+                if front.bytes <= budget || first_overall {
+                    queue.pop_front();
+                    budget = budget.saturating_sub(front.bytes);
+                    set.requests.push(front);
+                } else {
+                    return set;
+                }
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, bytes: u64, kind: MigrationKind) -> MigrationRequest {
+        MigrationRequest {
+            id,
+            bytes,
+            source: MemKind::Flash,
+            destination: MemKind::Gpu,
+            kind,
+        }
+    }
+
+    #[test]
+    fn faults_preempt_prefetches_and_evictions() {
+        let mut arb = MigrationArbiter::new();
+        arb.enqueue(request(1, 100, MigrationKind::PreEvict));
+        arb.enqueue(request(2, 100, MigrationKind::Prefetch));
+        arb.enqueue(request(3, 100, MigrationKind::Fault));
+        let set = arb.next_transfer_set(1000);
+        let ids: Vec<u64> = set.requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![3, 2, 1]);
+        assert_eq!(arb.pending(), 0);
+    }
+
+    #[test]
+    fn budget_limits_the_batch_but_never_starves() {
+        let mut arb = MigrationArbiter::new();
+        arb.enqueue(request(1, 600, MigrationKind::Prefetch));
+        arb.enqueue(request(2, 600, MigrationKind::Prefetch));
+        let first = arb.next_transfer_set(1000);
+        assert_eq!(first.requests.len(), 1);
+        assert_eq!(arb.pending_of(MigrationKind::Prefetch), 1);
+        // A single oversized request is still issued alone.
+        let mut arb = MigrationArbiter::new();
+        arb.enqueue(request(3, 5000, MigrationKind::PreEvict));
+        let set = arb.next_transfer_set(1000);
+        assert_eq!(set.requests.len(), 1);
+        assert_eq!(set.total_bytes(), 5000);
+    }
+
+    #[test]
+    fn transfer_set_byte_accounting() {
+        let mut set = TransferSet::default();
+        assert!(set.is_empty());
+        set.requests.push(request(1, 100, MigrationKind::Prefetch));
+        set.requests.push(MigrationRequest {
+            id: 2,
+            bytes: 50,
+            source: MemKind::Host,
+            destination: MemKind::Gpu,
+            kind: MigrationKind::Prefetch,
+        });
+        assert_eq!(set.total_bytes(), 150);
+        assert_eq!(set.ssd_bytes(), 100);
+    }
+
+    #[test]
+    fn empty_arbiter_returns_empty_set() {
+        let mut arb = MigrationArbiter::new();
+        assert!(arb.next_transfer_set(1024).is_empty());
+    }
+}

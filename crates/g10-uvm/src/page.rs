@@ -1,0 +1,95 @@
+//! Pages, virtual page numbers and physical memory kinds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The page granularity at which G10 manages the unified space (Table 2).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A virtual page number in the unified address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// The virtual page containing the given byte address.
+    pub fn containing(addr: u64, page_bytes: u64) -> Self {
+        Vpn(addr / page_bytes)
+    }
+
+    /// The raw page number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+/// The three physical backings a unified page table entry can point at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemKind {
+    /// GPU on-board HBM.
+    Gpu,
+    /// Host DRAM.
+    Host,
+    /// Flash pages inside the SSD.
+    Flash,
+}
+
+impl MemKind {
+    /// Short label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MemKind::Gpu => "gpu",
+            MemKind::Host => "host",
+            MemKind::Flash => "flash",
+        }
+    }
+
+    /// All kinds, for exhaustive reporting.
+    pub const ALL: [MemKind; 3] = [MemKind::Gpu, MemKind::Host, MemKind::Flash];
+}
+
+impl fmt::Display for MemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Number of pages needed to hold `bytes` at the given page size.
+pub fn pages_for(bytes: u64, page_bytes: u64) -> u64 {
+    debug_assert!(page_bytes > 0);
+    bytes.div_ceil(page_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_from_address() {
+        assert_eq!(Vpn::containing(0, PAGE_BYTES), Vpn(0));
+        assert_eq!(Vpn::containing(4095, PAGE_BYTES), Vpn(0));
+        assert_eq!(Vpn::containing(4096, PAGE_BYTES), Vpn(1));
+        assert_eq!(Vpn(7).raw(), 7);
+    }
+
+    #[test]
+    fn pages_round_up() {
+        assert_eq!(pages_for(0, PAGE_BYTES), 0);
+        assert_eq!(pages_for(1, PAGE_BYTES), 1);
+        assert_eq!(pages_for(PAGE_BYTES, PAGE_BYTES), 1);
+        assert_eq!(pages_for(PAGE_BYTES + 1, PAGE_BYTES), 2);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = MemKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.contains(&"gpu"));
+        assert!(format!("{}", Vpn(16)).contains("0x10"));
+    }
+}

@@ -1,0 +1,340 @@
+//! The unified page table.
+//!
+//! G10 extends the UVM page table so that a leaf entry can point at GPU
+//! memory, host memory or a flash page (§4.5).  Tensors occupy contiguous
+//! virtual ranges and are migrated either whole or in large batches, so the
+//! table is kept as a set of non-overlapping *extents* (a virtual range with
+//! one backing kind) rather than millions of individual 4 KiB entries.
+//! Range updates split extents as needed, which models exactly the PTE
+//! updates (and the implied TLB shoot-downs) that a migration performs.
+
+use crate::page::{MemKind, Vpn};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the unified page table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageTableError {
+    /// Translation of a virtual page that is not mapped.
+    NotMapped {
+        /// The unmapped page.
+        vpn: Vpn,
+    },
+    /// A new mapping overlaps an existing one.
+    AlreadyMapped {
+        /// The first overlapping page.
+        vpn: Vpn,
+    },
+}
+
+impl fmt::Display for PageTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageTableError::NotMapped { vpn } => write!(f, "virtual page {vpn} is not mapped"),
+            PageTableError::AlreadyMapped { vpn } => {
+                write!(f, "virtual page {vpn} is already mapped")
+            }
+        }
+    }
+}
+
+impl Error for PageTableError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Extent {
+    pages: u64,
+    kind: MemKind,
+}
+
+/// An extent-based unified page table.
+///
+/// # Example
+///
+/// ```
+/// use g10_uvm::page_table::UnifiedPageTable;
+/// use g10_uvm::page::{MemKind, Vpn};
+///
+/// let mut pt = UnifiedPageTable::new();
+/// pt.map(Vpn(0), 1024, MemKind::Gpu).unwrap();
+/// pt.update(Vpn(256), 512, MemKind::Flash);
+/// assert_eq!(pt.translate(Vpn(0)).unwrap(), MemKind::Gpu);
+/// assert_eq!(pt.translate(Vpn(300)).unwrap(), MemKind::Flash);
+/// assert_eq!(pt.pages_in(MemKind::Flash), 512);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnifiedPageTable {
+    extents: BTreeMap<u64, Extent>,
+    pte_updates: u64,
+}
+
+impl UnifiedPageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        UnifiedPageTable::default()
+    }
+
+    /// Total number of mapped pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.extents.values().map(|e| e.pages).sum()
+    }
+
+    /// Number of mapped pages currently backed by the given memory kind.
+    pub fn pages_in(&self, kind: MemKind) -> u64 {
+        self.extents
+            .values()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.pages)
+            .sum()
+    }
+
+    /// Number of leaf-entry updates performed so far (a proxy for PTE write
+    /// and TLB shoot-down work).
+    pub fn pte_updates(&self) -> u64 {
+        self.pte_updates
+    }
+
+    /// Number of extents (fragments) the table currently holds.
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Maps a fresh range of `pages` pages starting at `start` to `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageTableError::AlreadyMapped`] if any page in the range is
+    /// already mapped.
+    pub fn map(&mut self, start: Vpn, pages: u64, kind: MemKind) -> Result<(), PageTableError> {
+        if pages == 0 {
+            return Ok(());
+        }
+        if let Some(existing) = self.first_overlap(start.raw(), pages) {
+            return Err(PageTableError::AlreadyMapped { vpn: Vpn(existing) });
+        }
+        self.extents.insert(start.raw(), Extent { pages, kind });
+        self.pte_updates += pages;
+        Ok(())
+    }
+
+    /// Unmaps every page in the given range (pages outside any mapping are
+    /// ignored).
+    pub fn unmap(&mut self, start: Vpn, pages: u64) {
+        if pages == 0 {
+            return;
+        }
+        self.split_at(start.raw());
+        self.split_at(start.raw() + pages);
+        let keys: Vec<u64> = self
+            .extents
+            .range(start.raw()..start.raw() + pages)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            let removed = self.extents.remove(&k).expect("key listed above");
+            self.pte_updates += removed.pages;
+        }
+    }
+
+    /// Translates a single virtual page to its backing memory kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageTableError::NotMapped`] if the page is not mapped.
+    pub fn translate(&self, vpn: Vpn) -> Result<MemKind, PageTableError> {
+        match self.extents.range(..=vpn.raw()).next_back() {
+            Some((start, extent)) if vpn.raw() < start + extent.pages => Ok(extent.kind),
+            _ => Err(PageTableError::NotMapped { vpn }),
+        }
+    }
+
+    /// Points every page in the range at a new backing kind (the PTE update
+    /// a migration performs), splitting extents as necessary.  Pages in the
+    /// range that are not mapped are left unmapped.
+    pub fn update(&mut self, start: Vpn, pages: u64, kind: MemKind) {
+        if pages == 0 {
+            return;
+        }
+        self.split_at(start.raw());
+        self.split_at(start.raw() + pages);
+        let keys: Vec<u64> = self
+            .extents
+            .range(start.raw()..start.raw() + pages)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            if let Some(extent) = self.extents.get_mut(&k) {
+                if extent.kind != kind {
+                    self.pte_updates += extent.pages;
+                    extent.kind = kind;
+                }
+            }
+        }
+        self.coalesce_around(start.raw(), pages);
+    }
+
+    fn first_overlap(&self, start: u64, pages: u64) -> Option<u64> {
+        // An extent beginning before `start` may still cover it.
+        if let Some((k, e)) = self.extents.range(..start).next_back() {
+            if start < k + e.pages {
+                return Some(start);
+            }
+        }
+        self.extents
+            .range(start..start + pages)
+            .next()
+            .map(|(k, _)| *k)
+    }
+
+    /// Splits the extent containing `boundary` (if any) so that `boundary`
+    /// becomes an extent start.
+    fn split_at(&mut self, boundary: u64) {
+        let entry = self
+            .extents
+            .range(..boundary)
+            .next_back()
+            .map(|(k, e)| (*k, *e));
+        if let Some((start, extent)) = entry {
+            if boundary > start && boundary < start + extent.pages {
+                let left_pages = boundary - start;
+                let right_pages = extent.pages - left_pages;
+                self.extents.insert(
+                    start,
+                    Extent {
+                        pages: left_pages,
+                        kind: extent.kind,
+                    },
+                );
+                self.extents.insert(
+                    boundary,
+                    Extent {
+                        pages: right_pages,
+                        kind: extent.kind,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Merges adjacent extents with identical kinds in the neighbourhood of
+    /// the updated range, bounding fragmentation.
+    fn coalesce_around(&mut self, start: u64, pages: u64) {
+        let from = self
+            .extents
+            .range(..start)
+            .next_back()
+            .map(|(k, _)| *k)
+            .unwrap_or(start);
+        let keys: Vec<u64> = self
+            .extents
+            .range(from..start + pages + 1)
+            .map(|(k, _)| *k)
+            .collect();
+        for window in keys.windows(2) {
+            let (a, b) = (window[0], window[1]);
+            let (ea, eb) = match (self.extents.get(&a), self.extents.get(&b)) {
+                (Some(x), Some(y)) => (*x, *y),
+                _ => continue,
+            };
+            if a + ea.pages == b && ea.kind == eb.kind {
+                self.extents.remove(&b);
+                self.extents.insert(
+                    a,
+                    Extent {
+                        pages: ea.pages + eb.pages,
+                        kind: ea.kind,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_unmap() {
+        let mut pt = UnifiedPageTable::new();
+        pt.map(Vpn(100), 50, MemKind::Gpu).unwrap();
+        assert_eq!(pt.translate(Vpn(100)).unwrap(), MemKind::Gpu);
+        assert_eq!(pt.translate(Vpn(149)).unwrap(), MemKind::Gpu);
+        assert!(pt.translate(Vpn(150)).is_err());
+        assert!(pt.translate(Vpn(99)).is_err());
+        pt.unmap(Vpn(100), 50);
+        assert!(pt.translate(Vpn(100)).is_err());
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn double_map_is_rejected() {
+        let mut pt = UnifiedPageTable::new();
+        pt.map(Vpn(0), 10, MemKind::Gpu).unwrap();
+        assert!(pt.map(Vpn(5), 10, MemKind::Host).is_err());
+        assert!(pt.map(Vpn(0), 1, MemKind::Host).is_err());
+        // Mapping zero pages is a no-op.
+        pt.map(Vpn(100), 0, MemKind::Host).unwrap();
+        assert_eq!(pt.mapped_pages(), 10);
+    }
+
+    #[test]
+    fn update_splits_and_retargets() {
+        let mut pt = UnifiedPageTable::new();
+        pt.map(Vpn(0), 100, MemKind::Gpu).unwrap();
+        pt.update(Vpn(20), 30, MemKind::Flash);
+        assert_eq!(pt.translate(Vpn(10)).unwrap(), MemKind::Gpu);
+        assert_eq!(pt.translate(Vpn(25)).unwrap(), MemKind::Flash);
+        assert_eq!(pt.translate(Vpn(49)).unwrap(), MemKind::Flash);
+        assert_eq!(pt.translate(Vpn(50)).unwrap(), MemKind::Gpu);
+        assert_eq!(pt.pages_in(MemKind::Flash), 30);
+        assert_eq!(pt.pages_in(MemKind::Gpu), 70);
+        assert_eq!(pt.mapped_pages(), 100);
+    }
+
+    #[test]
+    fn update_coalesces_adjacent_extents() {
+        let mut pt = UnifiedPageTable::new();
+        pt.map(Vpn(0), 100, MemKind::Gpu).unwrap();
+        pt.update(Vpn(0), 50, MemKind::Flash);
+        pt.update(Vpn(50), 50, MemKind::Flash);
+        assert_eq!(pt.pages_in(MemKind::Flash), 100);
+        assert_eq!(pt.extent_count(), 1);
+        // Moving everything back to GPU coalesces again.
+        pt.update(Vpn(0), 100, MemKind::Gpu);
+        assert_eq!(pt.extent_count(), 1);
+    }
+
+    #[test]
+    fn pte_updates_count_migrated_pages() {
+        let mut pt = UnifiedPageTable::new();
+        pt.map(Vpn(0), 10, MemKind::Gpu).unwrap();
+        let after_map = pt.pte_updates();
+        pt.update(Vpn(0), 10, MemKind::Host);
+        assert_eq!(pt.pte_updates(), after_map + 10);
+        // Re-pointing at the same kind does not touch PTEs.
+        pt.update(Vpn(0), 10, MemKind::Host);
+        assert_eq!(pt.pte_updates(), after_map + 10);
+    }
+
+    #[test]
+    fn partial_unmap_keeps_the_rest() {
+        let mut pt = UnifiedPageTable::new();
+        pt.map(Vpn(0), 100, MemKind::Host).unwrap();
+        pt.unmap(Vpn(25), 50);
+        assert_eq!(pt.mapped_pages(), 50);
+        assert!(pt.translate(Vpn(24)).is_ok());
+        assert!(pt.translate(Vpn(25)).is_err());
+        assert!(pt.translate(Vpn(74)).is_err());
+        assert!(pt.translate(Vpn(75)).is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_lowercase() {
+        let e1 = PageTableError::NotMapped { vpn: Vpn(3) };
+        let e2 = PageTableError::AlreadyMapped { vpn: Vpn(4) };
+        assert!(e1.to_string().starts_with("virtual"));
+        assert!(e2.to_string().starts_with("virtual"));
+    }
+}

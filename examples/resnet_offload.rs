@@ -1,0 +1,61 @@
+//! ResNet-152 training beyond the GPU memory wall.
+//!
+//! Reproduces one column of the paper's Figure 11: ResNet-152 at batch 1280
+//! needs ~24× the 40 GB GPU capacity, and the example compares how much of
+//! the ideal (infinite-memory) performance each design recovers, along with
+//! the migration traffic each of them generates (Figure 14).
+//!
+//! Run with: `cargo run --release --example resnet_offload`
+
+use g10::core::config::SystemConfig;
+use g10::dnn::models::ModelKind;
+use g10::sim::runner::{run_policy, PolicyKind, Workload};
+
+fn main() {
+    let model = ModelKind::ResNet152;
+    let batch = model.eval_batch();
+    let config = SystemConfig::table2();
+
+    println!("building {} at batch {batch}...", model.name());
+    let workload = Workload::new(model, batch);
+    println!(
+        "{} ({:.0}% of GPU memory)\n",
+        workload.graph.summary(),
+        workload.memory_ratio(&config) * 100.0
+    );
+
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "policy", "perf", "iter time", "stall", "GPU-SSD", "GPU-Host", "faults"
+    );
+    let mut ideal_throughput = 0.0;
+    for policy in [
+        PolicyKind::Ideal,
+        PolicyKind::BaseUvm,
+        PolicyKind::FlashNeuron,
+        PolicyKind::DeepUmPlus,
+        PolicyKind::G10Gds,
+        PolicyKind::G10Host,
+        PolicyKind::G10Full,
+    ] {
+        let report = run_policy(&workload, policy, &config);
+        if policy == PolicyKind::Ideal {
+            ideal_throughput = report.throughput();
+        }
+        println!(
+            "{:<12} {:>9.1}% {:>11.1}s {:>9.1}% {:>9.1} GB {:>9.1} GB {:>10}",
+            report.policy,
+            report.normalized_performance() * 100.0,
+            report.total_time.as_secs_f64(),
+            report.stall_fraction() * 100.0,
+            report.traffic.ssd_total() as f64 / 1e9,
+            report.traffic.host_total() as f64 / 1e9,
+            report.fault_count,
+        );
+    }
+    println!(
+        "\nideal throughput: {:.1} {} — G10 recovers most of it with only 40 GB of on-board memory",
+        ideal_throughput,
+        model.throughput_unit()
+    );
+}

@@ -1,0 +1,71 @@
+//! SSD lifetime under continuous DNN training (the paper's §7.7).
+//!
+//! Runs the Figure-11 workloads under DeepUM+, FlashNeuron and G10, measures
+//! how many bytes each design writes to the flash per iteration, and feeds
+//! the write rates into the drive-writes-per-day endurance model of the
+//! Samsung Z-SSD.  It also exercises the detailed flash simulator to show
+//! the garbage-collection write amplification a migration-heavy workload
+//! produces on a small device.
+//!
+//! Run with: `cargo run --release --example ssd_lifetime`
+
+use g10::core::config::SystemConfig;
+use g10::dnn::models::ModelKind;
+use g10::sim::runner::{run_policy, PolicyKind, Workload};
+use g10::ssd::{EnduranceModel, Ssd, SsdConfig};
+use g10::time::Nanos;
+
+fn main() {
+    let config = SystemConfig::table2();
+    let endurance = EnduranceModel::samsung_z_ssd();
+
+    println!("SSD write traffic and projected lifetime (continuous training):\n");
+    println!(
+        "{:<12} {:<12} {:>16} {:>14} {:>12}",
+        "model", "policy", "writes/iter (GB)", "write rate", "lifetime"
+    );
+    for model in [ModelKind::Bert, ModelKind::InceptionV3, ModelKind::SENet154] {
+        let workload = Workload::new(model, model.eval_batch());
+        for policy in [PolicyKind::DeepUmPlus, PolicyKind::FlashNeuron, PolicyKind::G10Full] {
+            let report = run_policy(&workload, policy, &config);
+            let writes = report.ssd_write_bytes() as f64;
+            let rate = writes / report.total_time.as_secs_f64();
+            println!(
+                "{:<12} {:<12} {:>16.1} {:>11.2} GB/s {:>9.1} yr",
+                model.name(),
+                report.policy,
+                writes / 1e9,
+                rate / 1e9,
+                endurance.lifetime_years(rate),
+            );
+        }
+        println!();
+    }
+
+    // Detailed flash-level view: hammer a small simulated device with a
+    // migration-like overwrite pattern and report write amplification.
+    println!("flash-level view (small simulated device, hot/cold overwrite pattern):");
+    let mut ssd = Ssd::new(SsdConfig::small_test());
+    let logical = ssd.config().logical_pages();
+    let mut now = Nanos::ZERO;
+    for lpn in 0..logical {
+        now = ssd.write(lpn, now).expect("initial fill");
+    }
+    for _ in 0..4 {
+        for lpn in (0..logical).step_by(3) {
+            now = ssd.write(lpn, now).expect("overwrite");
+        }
+    }
+    let stats = ssd.stats();
+    println!(
+        "  host writes: {} pages, GC moves: {} pages, erases: {}, write amplification: {:.2}",
+        stats.host_writes,
+        stats.gc_page_moves,
+        stats.block_erases,
+        stats.write_amplification()
+    );
+    println!(
+        "  mean device latency: {:.1} us",
+        stats.mean_latency().as_micros_f64()
+    );
+}

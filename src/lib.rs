@@ -1,0 +1,36 @@
+//! G10 reproduction — facade crate.
+//!
+//! This workspace reproduces *"G10: Enabling An Efficient Unified GPU Memory
+//! and Storage Architecture with Smart Tensor Migrations"* (MICRO 2023) as a
+//! pure-Rust simulation-based system.  The facade crate re-exports the
+//! member crates under one roof so examples and downstream users can depend
+//! on a single crate:
+//!
+//! * [`dnn`] — DNN workload substrate (models, graphs, traces, cost model).
+//! * [`ssd`] — flash SSD simulator (FTL, garbage collection, endurance).
+//! * [`uvm`] — unified GPU/host/flash memory substrate (page table, PCIe,
+//!   fault model, migration queues).
+//! * [`core`] — the paper's contribution: tensor vitality analysis and the
+//!   smart tensor migration scheduler.
+//! * [`sim`] — the trace-replay simulator with every compared design
+//!   (Ideal, Base UVM, DeepUM+, FlashNeuron, G10 and its ablations).
+//!
+//! # Quick start
+//!
+//! ```
+//! use g10::core::config::SystemConfig;
+//! use g10::dnn::models::ModelKind;
+//! use g10::sim::runner::{run_experiment, PolicyKind};
+//!
+//! let config = SystemConfig::table2().with_gpu_memory(64 << 20);
+//! let report = run_experiment(ModelKind::TinyCnn, 32, PolicyKind::G10Full, &config);
+//! println!("{}", report.summary());
+//! assert!(report.normalized_performance() > 0.0);
+//! ```
+
+pub use g10_core as core;
+pub use g10_dnn as dnn;
+pub use g10_sim as sim;
+pub use g10_ssd as ssd;
+pub use g10_time as time;
+pub use g10_uvm as uvm;

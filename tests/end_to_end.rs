@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: workload → vitality analysis → migration
+//! plan → replay, checking the invariants that tie the crates together.
+
+use g10::core::config::SystemConfig;
+use g10::core::plan::Instruction;
+use g10::core::scheduler::{G10Scheduler, SchedulerVariant};
+use g10::core::vitality::VitalityAnalysis;
+use g10::dnn::models::ModelKind;
+use g10::sim::runner::{run_policy, PolicyKind, Workload};
+
+fn constrained_config() -> SystemConfig {
+    SystemConfig::table2().with_gpu_memory(64 << 20)
+}
+
+#[test]
+fn plan_prefetches_every_evicted_tensor_before_its_next_use() {
+    let workload = Workload::new(ModelKind::TinyCnn, 64);
+    let config = constrained_config();
+    let analysis = VitalityAnalysis::analyze(&workload.graph, &workload.trace);
+    let plan = G10Scheduler::new(config, SchedulerVariant::Full)
+        .plan_with_analysis(&workload.graph, &workload.trace, &analysis);
+    assert!(plan.eviction_count() > 0, "the constrained GPU must force evictions");
+    assert_eq!(plan.eviction_count(), plan.prefetch_count());
+
+    // For every pre-eviction of a tensor after kernel E, there must be a
+    // matching prefetch of that tensor attached to a kernel after E (or an
+    // initial placement for wrap-around periods).
+    for kernel_idx in 0..plan.len() {
+        let kernel = g10::dnn::graph::KernelId::new(kernel_idx as u32);
+        for instruction in &plan.at(kernel).after {
+            if let Instruction::PreEvict { tensor, .. } = instruction {
+                let wrap = plan
+                    .initial_placements()
+                    .iter()
+                    .any(|p| p.tensor == *tensor);
+                let prefetched_later = (kernel_idx..plan.len()).any(|k| {
+                    plan.at(g10::dnn::graph::KernelId::new(k as u32))
+                        .before
+                        .iter()
+                        .any(|i| matches!(i, Instruction::Prefetch { tensor: t, .. } if t == tensor))
+                });
+                let prefetched_anywhere = (0..plan.len()).any(|k| {
+                    plan.at(g10::dnn::graph::KernelId::new(k as u32))
+                        .before
+                        .iter()
+                        .any(|i| matches!(i, Instruction::Prefetch { tensor: t, .. } if t == tensor))
+                });
+                assert!(
+                    prefetched_later || (wrap && prefetched_anywhere),
+                    "evicted tensor {tensor} is never prefetched back"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn g10_outperforms_heuristic_baselines_under_memory_pressure() {
+    // Slow the GPU down (as the paper-calibrated workloads do) so that there
+    // is compute to overlap migrations with; at native A100 speed the tiny
+    // workload is purely bandwidth-bound for every design.
+    let cost_model = g10::dnn::cost::GpuCostModel::a100().slowed(8.0);
+    let workload = Workload::with_cost_model(ModelKind::TinyCnn, 64, &cost_model);
+    let config = constrained_config();
+    let ideal = run_policy(&workload, PolicyKind::Ideal, &config);
+    let base = run_policy(&workload, PolicyKind::BaseUvm, &config);
+    let g10 = run_policy(&workload, PolicyKind::G10Full, &config);
+
+    assert_eq!(ideal.total_time, ideal.ideal_time);
+    assert!(base.total_time > ideal.total_time);
+    assert!(g10.total_time < base.total_time);
+    assert!(g10.normalized_performance() > 1.2 * base.normalized_performance());
+    assert!(g10.normalized_performance() > 0.5);
+}
+
+#[test]
+fn every_policy_conserves_traffic_directionality() {
+    let workload = Workload::new(ModelKind::TinyTransformer, 64);
+    let config = constrained_config();
+    for policy in [
+        PolicyKind::BaseUvm,
+        PolicyKind::DeepUmPlus,
+        PolicyKind::FlashNeuron,
+        PolicyKind::G10Gds,
+        PolicyKind::G10Full,
+    ] {
+        let report = run_policy(&workload, policy, &config);
+        // Nothing can be read back from the SSD or host that was never
+        // written there (weights start on the GPU in these runs).
+        assert!(
+            report.traffic.ssd_to_gpu_bytes <= report.traffic.gpu_to_ssd_bytes,
+            "{policy:?}: read more from SSD than was ever written"
+        );
+        assert!(
+            report.traffic.host_to_gpu_bytes <= report.traffic.gpu_to_host_bytes,
+            "{policy:?}: read more from host than was ever written"
+        );
+        // Total time is never below the ideal compute time.
+        assert!(report.total_time >= report.ideal_time);
+    }
+}
+
+#[test]
+fn gds_variant_uses_no_host_memory_at_runtime() {
+    let workload = Workload::new(ModelKind::TinyCnn, 64);
+    let config = constrained_config();
+    let report = run_policy(&workload, PolicyKind::G10Gds, &config);
+    assert_eq!(report.traffic.host_total(), 0);
+    assert!(report.traffic.ssd_total() > 0);
+}
+
+#[test]
+fn profiling_noise_barely_affects_g10() {
+    let workload = Workload::new(ModelKind::TinyCnn, 64);
+    let config = constrained_config();
+    let exact = run_policy(&workload, PolicyKind::G10Full, &config);
+    let noisy_trace = workload.trace.with_noise(0.20, 7);
+    let noisy = g10::sim::runner::run_policy_with_planning_trace(
+        &workload,
+        PolicyKind::G10Full,
+        &config,
+        &noisy_trace,
+    );
+    let ratio = noisy.total_time.as_secs_f64() / exact.total_time.as_secs_f64();
+    assert!(
+        ratio < 1.15,
+        "a 20% profiling error should not cost more than ~15% at this scale (got {ratio:.3})"
+    );
+}
+
+#[test]
+fn more_host_memory_never_hurts_g10() {
+    let workload = Workload::new(ModelKind::TinyCnn, 64);
+    let small_host = SystemConfig::table2()
+        .with_gpu_memory(64 << 20)
+        .with_host_memory(0);
+    let big_host = SystemConfig::table2()
+        .with_gpu_memory(64 << 20)
+        .with_host_memory(8 << 30);
+    let constrained = run_policy(&workload, PolicyKind::G10Full, &small_host);
+    let comfortable = run_policy(&workload, PolicyKind::G10Full, &big_host);
+    assert!(comfortable.total_time <= constrained.total_time.scale(1.02));
+}
