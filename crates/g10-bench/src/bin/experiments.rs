@@ -13,29 +13,29 @@
 
 use g10_bench::experiments::{self, EndToEndRuns};
 use g10_bench::output::{write_csv, Table};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-fn emit(table: &Table, out_dir: &PathBuf, name: &str) {
+fn emit(table: &Table, out_dir: &Path, name: &str) {
     println!("{}", table.render());
     if let Err(err) = write_csv(table, out_dir, name) {
         eprintln!("warning: could not write {name}.csv: {err}");
     }
 }
 
-fn emit_all(tables: &[Table], out_dir: &PathBuf, prefix: &str) {
+fn emit_all(tables: &[Table], out_dir: &Path, prefix: &str) {
     for (i, table) in tables.iter().enumerate() {
         emit(table, out_dir, &format!("{prefix}_{i}"));
     }
 }
 
-fn end_to_end(out_dir: &PathBuf) -> EndToEndRuns {
+fn end_to_end(out_dir: &Path) -> EndToEndRuns {
     let data = EndToEndRuns::collect();
     let _ = out_dir;
     data
 }
 
-fn run(command: &str, out_dir: &PathBuf) -> Result<(), String> {
+fn run(command: &str, out_dir: &Path) -> Result<(), String> {
     match command {
         "table1" => emit(&experiments::table1(), out_dir, "table1"),
         "table2" => emit(&experiments::table2(), out_dir, "table2"),

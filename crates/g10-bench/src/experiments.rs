@@ -31,7 +31,14 @@ fn pct(x: f64) -> String {
 pub fn table1() -> Table {
     let mut table = Table::new(
         "Table 1: evaluated DNN models",
-        &["model", "eval_batch", "kernels", "tensors", "total_gib", "memory_vs_gpu_pct"],
+        &[
+            "model",
+            "eval_batch",
+            "kernels",
+            "tensors",
+            "total_gib",
+            "memory_vs_gpu_pct",
+        ],
     );
     let config = SystemConfig::table2();
     let rows = parallel_map(ModelKind::PAPER_MODELS.to_vec(), |model| {
@@ -63,8 +70,14 @@ pub fn table2() -> Table {
     let c = SystemConfig::table2();
     let mut table = Table::new("Table 2: system configuration", &["parameter", "value"]);
     let rows: Vec<(&str, String)> = vec![
-        ("CPU main memory", format!("{} GiB DDR4", c.host_memory_bytes >> 30)),
-        ("GPU memory", format!("{} GiB HBM2e", c.gpu_memory_bytes >> 30)),
+        (
+            "CPU main memory",
+            format!("{} GiB DDR4", c.host_memory_bytes >> 30),
+        ),
+        (
+            "GPU memory",
+            format!("{} GiB HBM2e", c.gpu_memory_bytes >> 30),
+        ),
         ("Page size", format!("{} B", c.page_bytes)),
         (
             "SSD read/write bandwidth",
@@ -84,7 +97,10 @@ pub fn table2() -> Table {
         ),
         (
             "Interconnect",
-            format!("PCIe Gen3 x16 ({:.3} GB/s per direction)", c.pcie_bytes_per_sec / GB),
+            format!(
+                "PCIe Gen3 x16 ({:.3} GB/s per direction)",
+                c.pcie_bytes_per_sec / GB
+            ),
         ),
         (
             "GPU page fault handling latency",
@@ -141,8 +157,16 @@ pub fn fig3() -> Table {
     let mut table = Table::new(
         "Figure 3: inactive period length distribution",
         &[
-            "model", "batch", "periods", "p10_us", "p25_us", "p50_us", "p75_us", "p90_us",
-            "max_us", "frac_longer_than_ssd_latency_pct",
+            "model",
+            "batch",
+            "periods",
+            "p10_us",
+            "p25_us",
+            "p50_us",
+            "p75_us",
+            "p90_us",
+            "max_us",
+            "frac_longer_than_ssd_latency_pct",
         ],
     );
     let rows = parallel_map(characterization_models(), |model| {
@@ -184,7 +208,11 @@ pub fn fig4() -> Vec<Table> {
         let workload = Workload::new(*model, batch);
         let periods = inactive_periods(&workload.graph, &workload.trace);
         let mut table = Table::new(
-            format!("Figure 4: period length vs size, {}-{}", model.name(), batch),
+            format!(
+                "Figure 4: period length vs size, {}-{}",
+                model.name(),
+                batch
+            ),
             &["tensor_bytes", "inactive_period_us"],
         );
         let step = (periods.len() / 2000).max(1);
@@ -233,7 +261,11 @@ impl EndToEndRuns {
 
 /// Figure 11: end-to-end training throughput normalised to Ideal.
 pub fn fig11(data: &EndToEndRuns) -> Table {
-    let mut header = vec!["model".to_string(), "batch".to_string(), "memory_pct".to_string()];
+    let mut header = vec![
+        "model".to_string(),
+        "batch".to_string(),
+        "memory_pct".to_string(),
+    ];
     header.extend(data.policies());
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(
@@ -251,7 +283,10 @@ pub fn fig11(data: &EndToEndRuns) -> Table {
         let mut row = vec![
             model.name().to_string(),
             model.eval_batch().to_string(),
-            format!("{:.1}", total_bytes / config.gpu_memory_bytes as f64 * 100.0),
+            format!(
+                "{:.1}",
+                total_bytes / config.gpu_memory_bytes as f64 * 100.0
+            ),
         ];
         for report in reports {
             row.push(format!("{:.3}", report.normalized_performance()));
@@ -289,7 +324,13 @@ pub fn fig13(data: &EndToEndRuns) -> Table {
     let mut table = Table::new(
         "Figure 13: kernel slowdown distribution (normalized to ideal)",
         &[
-            "model", "policy", "frac_kernels_slowed_pct", "p50", "p90", "p99", "max",
+            "model",
+            "policy",
+            "frac_kernels_slowed_pct",
+            "p50",
+            "p90",
+            "p99",
+            "max",
         ],
     );
     for (model, reports) in &data.runs {
@@ -317,7 +358,12 @@ pub fn fig14(data: &EndToEndRuns) -> Table {
     let mut table = Table::new(
         "Figure 14: migration traffic (GB)",
         &[
-            "model", "policy", "gpu_ssd_gb", "gpu_host_gb", "ssd_writes_gb", "ssd_reads_gb",
+            "model",
+            "policy",
+            "gpu_ssd_gb",
+            "gpu_host_gb",
+            "ssd_writes_gb",
+            "ssd_reads_gb",
         ],
     );
     for (model, reports) in &data.runs {
@@ -343,8 +389,12 @@ pub fn lifetime(data: &EndToEndRuns) -> Table {
     let mut table = Table::new(
         "Section 7.7: SSD lifetime under continuous training",
         &[
-            "model", "policy", "ssd_write_gb_per_iter", "write_rate_gb_per_s",
-            "lifetime_years", "writes_vs_g10",
+            "model",
+            "policy",
+            "ssd_write_gb_per_iter",
+            "write_rate_gb_per_s",
+            "lifetime_years",
+            "writes_vs_g10",
         ],
     );
     let endurance = EnduranceModel::samsung_z_ssd();
@@ -474,8 +524,7 @@ pub fn fig17() -> Table {
         "Figure 17: execution time vs host memory capacity (comparison)",
         &["model", "batch", "host_gib", "policy", "execution_time_s"],
     );
-    let specs: Vec<(ModelKind, u64)> =
-        vec![(ModelKind::Vit, 1024), (ModelKind::InceptionV3, 1280)];
+    let specs: Vec<(ModelKind, u64)> = vec![(ModelKind::Vit, 1024), (ModelKind::InceptionV3, 1280)];
     let rows = parallel_map(specs, |(model, batch)| {
         let workload = Workload::new(*model, *batch);
         let mut rows = Vec::new();

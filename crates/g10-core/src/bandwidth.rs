@@ -153,7 +153,10 @@ mod tests {
         let t = timeline();
         let one_bin = t.free_bytes_between(Nanos::ZERO, Nanos::from_micros(500));
         assert!((one_bin - 1_000_000.0).abs() < 1.0);
-        assert_eq!(t.free_bytes_between(Nanos::from_millis(5), Nanos::from_millis(5)), 0.0);
+        assert_eq!(
+            t.free_bytes_between(Nanos::from_millis(5), Nanos::from_millis(5)),
+            0.0
+        );
     }
 
     #[test]

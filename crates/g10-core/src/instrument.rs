@@ -109,8 +109,8 @@ mod tests {
     fn window_rendering_clips_to_the_requested_kernels() {
         let graph = build_model(ModelKind::TinyCnn, 8);
         let trace = KernelTrace::profile(&graph, &GpuCostModel::a100());
-        let plan = G10Scheduler::new(SystemConfig::table2(), SchedulerVariant::Full)
-            .plan(&graph, &trace);
+        let plan =
+            G10Scheduler::new(SystemConfig::table2(), SchedulerVariant::Full).plan(&graph, &trace);
         let window = render_window(&graph, &plan, 0, 5);
         assert_eq!(window.matches("  // Kernel ").count(), 5);
         // Out-of-range windows are clipped, not panicking.
@@ -120,6 +120,9 @@ mod tests {
 
     #[test]
     fn kernel_names_are_sanitised_into_identifiers() {
-        assert_eq!(sanitize("layer3.12.conv2.forward"), "layer3_12_conv2_forward");
+        assert_eq!(
+            sanitize("layer3.12.conv2.forward"),
+            "layer3_12_conv2_forward"
+        );
     }
 }

@@ -142,7 +142,8 @@ impl MigrationPlan {
 
     /// Declares that a tensor starts the iteration outside GPU memory.
     pub fn add_initial_placement(&mut self, tensor: TensorId, location: Destination) {
-        self.initial_placements.push(InitialPlacement { tensor, location });
+        self.initial_placements
+            .push(InitialPlacement { tensor, location });
     }
 
     /// Tensors that start the iteration outside GPU memory.
@@ -260,7 +261,10 @@ mod tests {
     fn instruction_tensor_accessor_covers_all_variants() {
         let t = TensorId::new(9);
         for i in [
-            Instruction::Alloc { tensor: t, bytes: 1 },
+            Instruction::Alloc {
+                tensor: t,
+                bytes: 1,
+            },
             Instruction::Free { tensor: t },
             Instruction::PreEvict {
                 tensor: t,

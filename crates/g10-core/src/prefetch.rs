@@ -120,7 +120,10 @@ pub fn schedule_prefetches(
         let _ = n_kernels;
     }
 
-    decisions.into_iter().map(|d| d.expect("every eviction gets a prefetch")).collect()
+    decisions
+        .into_iter()
+        .map(|d| d.expect("every eviction gets a prefetch"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -130,7 +133,15 @@ mod tests {
     use g10_dnn::cost::GpuCostModel;
     use g10_dnn::models::{build_model, ModelKind};
 
-    fn planned(gpu_bytes: u64) -> (VitalityAnalysis, KernelTrace, SystemConfig, Vec<EvictionDecision>, Vec<PrefetchDecision>) {
+    fn planned(
+        gpu_bytes: u64,
+    ) -> (
+        VitalityAnalysis,
+        KernelTrace,
+        SystemConfig,
+        Vec<EvictionDecision>,
+        Vec<PrefetchDecision>,
+    ) {
         let graph = build_model(ModelKind::TinyCnn, 64);
         let trace = KernelTrace::profile(&graph, &GpuCostModel::a100());
         let analysis = VitalityAnalysis::analyze(&graph, &trace);
@@ -174,8 +185,7 @@ mod tests {
                 // was already missed because the eviction itself finished too
                 // late (the runtime will absorb that as a stall).
                 assert!(
-                    p.prefetch_time <= p.latest_safe_time
-                        || e.evict_complete > p.latest_safe_time
+                    p.prefetch_time <= p.latest_safe_time || e.evict_complete > p.latest_safe_time
                 );
             }
             let _ = trace.len();
@@ -185,7 +195,10 @@ mod tests {
     #[test]
     fn eager_prefetching_creates_slack() {
         let (_, _, _, _, prefetches) = planned(64 << 20);
-        let with_slack = prefetches.iter().filter(|p| p.slack() > Nanos::ZERO).count();
+        let with_slack = prefetches
+            .iter()
+            .filter(|p| p.slack() > Nanos::ZERO)
+            .count();
         assert!(
             with_slack > 0,
             "eager rescheduling should move at least some prefetches earlier"

@@ -26,7 +26,11 @@ impl MemoryTimeline {
     ///
     /// Panics if the two slices have different lengths.
     pub fn new(values: &[u64], durations: &[Nanos]) -> Self {
-        assert_eq!(values.len(), durations.len(), "one value per kernel required");
+        assert_eq!(
+            values.len(),
+            durations.len(),
+            "one value per kernel required"
+        );
         MemoryTimeline {
             values: values.iter().map(|v| *v as i64).collect(),
             durations: durations.to_vec(),

@@ -199,15 +199,11 @@ impl G10Scheduler {
         plan
     }
 
-    /// Convenience wrapper: plans with both destinations or SSD-only
-    /// depending on the variant, and reports which destination the variant
-    /// prefers for documentation purposes.
+    /// First-choice eviction destination.  Every variant targets the SSD
+    /// first (Algorithm 1); host memory is only a spillover target for
+    /// host-capable variants when SSD write bandwidth saturates.
     pub fn preferred_destination(&self) -> Destination {
-        if self.variant.allows_host() {
-            Destination::Ssd
-        } else {
-            Destination::Ssd
-        }
+        Destination::Ssd
     }
 }
 

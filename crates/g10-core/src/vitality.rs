@@ -265,7 +265,10 @@ impl VitalityAnalysis {
     pub fn allocation_window(&self, tensor: TensorId) -> Option<(KernelId, KernelId)> {
         self.lifetime(tensor).map(|l| {
             if l.is_global {
-                (KernelId::new(0), KernelId::new((self.live_bytes.len() - 1) as u32))
+                (
+                    KernelId::new(0),
+                    KernelId::new((self.live_bytes.len() - 1) as u32),
+                )
             } else {
                 (l.first_use, l.last_use)
             }

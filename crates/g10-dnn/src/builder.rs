@@ -235,7 +235,9 @@ impl GraphBuilder {
     /// Registers the input image batch `batch × c × h × w`.
     pub fn input_image(&mut self, c: u64, h: u64, w: u64) -> Act {
         let shape = ActShape::Map(FeatureMap::new(self.batch, c, h, w));
-        let tensor = self.graph.add_tensor(TensorKind::Input, shape.bytes(), "input");
+        let tensor = self
+            .graph
+            .add_tensor(TensorKind::Input, shape.bytes(), "input");
         Act { tensor, shape }
     }
 
@@ -271,7 +273,15 @@ impl GraphBuilder {
     // ------------------------------------------------------------------
 
     /// 2-D convolution with square kernel `k`, stride and group count.
-    pub fn conv2d(&mut self, name: &str, input: &Act, out_c: u64, k: u64, stride: u64, groups: u64) -> Act {
+    pub fn conv2d(
+        &mut self,
+        name: &str,
+        input: &Act,
+        out_c: u64,
+        k: u64,
+        stride: u64,
+        groups: u64,
+    ) -> Act {
         let in_map = input.map();
         let out_map = in_map.conv_output(out_c, stride);
         let weight_bytes = fp32_bytes(out_c * (in_map.c / groups.max(1)) * k * k);
@@ -357,7 +367,7 @@ impl GraphBuilder {
             features: map.c,
         };
         let out = self.add_activation(&format!("{name}.out"), out_shape);
-        let cost = pooling_cost(out_shape.elements(), map.h.max(1).min(16));
+        let cost = pooling_cost(out_shape.elements(), map.h.clamp(1, 16));
         self.record(
             name,
             KernelClass::Pooling,
@@ -414,7 +424,11 @@ impl GraphBuilder {
 
     /// Element-wise residual addition of two activations with equal shape.
     pub fn add(&mut self, name: &str, a: &Act, b: &Act) -> Act {
-        debug_assert_eq!(a.shape.bytes(), b.shape.bytes(), "residual add of mismatched shapes");
+        debug_assert_eq!(
+            a.shape.bytes(),
+            b.shape.bytes(),
+            "residual add of mismatched shapes"
+        );
         let out = self.add_activation(&format!("{name}.out"), a.shape);
         let cost = elementwise_cost(a.shape.elements(), 2);
         self.record(
@@ -499,11 +513,7 @@ impl GraphBuilder {
                     features: out_features,
                 },
             ),
-            ActShape::Seq(s) => (
-                s.n * s.l,
-                s.d,
-                ActShape::Seq(s.with_hidden(out_features)),
-            ),
+            ActShape::Seq(s) => (s.n * s.l, s.d, ActShape::Seq(s.with_hidden(out_features))),
             ActShape::Map(m) => (
                 m.n,
                 m.c * m.h * m.w,
@@ -709,11 +719,9 @@ impl GraphBuilder {
         // Produces the gradient of the final output (the gradient "seed").
         let mut grad_of: Vec<Option<TensorId>> = vec![None; self.graph.num_tensors()];
         let final_bytes = final_output.shape.bytes();
-        let loss_grad = self.graph.add_tensor(
-            TensorKind::ActivationGradient,
-            final_bytes,
-            "loss.grad",
-        );
+        let loss_grad =
+            self.graph
+                .add_tensor(TensorKind::ActivationGradient, final_bytes, "loss.grad");
         grad_of.resize(self.graph.num_tensors(), None);
         grad_of[final_output.tensor.index()] = Some(loss_grad);
         self.graph.add_kernel(
@@ -774,11 +782,9 @@ impl GraphBuilder {
                             data_outputs.push(g);
                         }
                         None => {
-                            let g = self.graph.add_tensor(
-                                TensorKind::ActivationGradient,
-                                bytes,
-                                name,
-                            );
+                            let g =
+                                self.graph
+                                    .add_tensor(TensorKind::ActivationGradient, bytes, name);
                             grad_of.resize(self.graph.num_tensors(), None);
                             grad_of[input.index()] = Some(g);
                             data_outputs.push(g);
@@ -875,7 +881,10 @@ impl GraphBuilder {
             );
         }
 
-        debug_assert!(self.graph.validate().is_ok(), "builder produced an invalid graph");
+        debug_assert!(
+            self.graph.validate().is_ok(),
+            "builder produced an invalid graph"
+        );
         self.graph
     }
 }
@@ -906,7 +915,7 @@ mod tests {
         g.validate().expect("graph must validate");
         let names: Vec<&str> = g.kernels().iter().map(|k| k.name()).collect();
         assert!(names.iter().any(|n| n.ends_with(".forward")));
-        assert!(names.iter().any(|n| *n == "loss"));
+        assert!(names.contains(&"loss"));
         assert!(names.iter().any(|n| n.ends_with(".backward")));
         assert!(names.iter().any(|n| n.ends_with(".backward.wgrad")));
         assert!(names.iter().any(|n| n.ends_with(".optimizer")));
@@ -953,7 +962,10 @@ mod tests {
             .into_iter()
             .nth(conv1_weight.index())
             .unwrap();
-        assert!(uses.len() >= 3, "weight should be used in fwd, bwd and optimizer");
+        assert!(
+            uses.len() >= 3,
+            "weight should be used in fwd, bwd and optimizer"
+        );
         let names: Vec<&str> = uses.iter().map(|k| g.kernel(*k).name()).collect();
         assert!(names.iter().any(|n| n.ends_with(".forward")));
         assert!(names.iter().any(|n| n.contains(".backward")));
@@ -1011,6 +1023,9 @@ mod tests {
             .iter()
             .filter(|k| k.outputs().contains(&r1_grad))
             .count();
-        assert!(writers >= 2, "residual gradient should be written by at least two kernels");
+        assert!(
+            writers >= 2,
+            "residual gradient should be written by at least two kernels"
+        );
     }
 }

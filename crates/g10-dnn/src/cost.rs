@@ -167,7 +167,8 @@ mod tests {
         let fast = GpuCostModel::a100();
         let slow = fast.slowed(8.0);
         let cost = gemm_cost(4096, 4096, 4096);
-        let ratio = slow.duration_of(cost, true).as_secs_f64() / fast.duration_of(cost, true).as_secs_f64();
+        let ratio =
+            slow.duration_of(cost, true).as_secs_f64() / fast.duration_of(cost, true).as_secs_f64();
         assert!((6.0..10.0).contains(&ratio), "ratio was {ratio}");
         assert_eq!(GpuCostModel::paper_calibrated(), fast.slowed(8.0));
     }

@@ -85,7 +85,10 @@ impl Kernel {
     /// Iterator over every tensor the kernel touches (inputs then outputs,
     /// duplicates possible if a tensor is updated in place).
     pub fn tensors(&self) -> impl Iterator<Item = TensorId> + '_ {
-        self.inputs.iter().copied().chain(self.outputs.iter().copied())
+        self.inputs
+            .iter()
+            .copied()
+            .chain(self.outputs.iter().copied())
     }
 
     /// Returns `true` if the kernel reads or writes the given tensor.
@@ -151,7 +154,12 @@ impl DnnGraph {
     }
 
     /// Registers a tensor and returns its id.
-    pub fn add_tensor(&mut self, kind: TensorKind, bytes: u64, name: impl Into<String>) -> TensorId {
+    pub fn add_tensor(
+        &mut self,
+        kind: TensorKind,
+        bytes: u64,
+        name: impl Into<String>,
+    ) -> TensorId {
         let id = TensorId::new(self.tensors.len() as u32);
         self.tensors.push(TensorInfo::new(id, kind, bytes, name));
         id
@@ -289,7 +297,9 @@ impl DnnGraph {
         let mut used = vec![false; self.tensors.len()];
         for kernel in &self.kernels {
             if kernel.inputs.is_empty() && kernel.outputs.is_empty() {
-                return Err(GraphError::EmptyKernel { kernel: kernel.id() });
+                return Err(GraphError::EmptyKernel {
+                    kernel: kernel.id(),
+                });
             }
             for t in kernel.tensors() {
                 if t.index() >= self.tensors.len() {
@@ -335,8 +345,20 @@ mod tests {
         let y = g.add_tensor(TensorKind::Activation, 4096, "y");
         let dy = g.add_tensor(TensorKind::ActivationGradient, 4096, "dy");
         let dw = g.add_tensor(TensorKind::WeightGradient, 1024, "dw");
-        g.add_kernel("fwd", KernelClass::Gemm, OpCost::new(1e6, 1e4), vec![x, w], vec![y]);
-        g.add_kernel("loss", KernelClass::Reduction, OpCost::new(1e3, 1e3), vec![y], vec![dy]);
+        g.add_kernel(
+            "fwd",
+            KernelClass::Gemm,
+            OpCost::new(1e6, 1e4),
+            vec![x, w],
+            vec![y],
+        );
+        g.add_kernel(
+            "loss",
+            KernelClass::Reduction,
+            OpCost::new(1e3, 1e3),
+            vec![y],
+            vec![dy],
+        );
         g.add_kernel(
             "bwd",
             KernelClass::Gemm,
@@ -373,7 +395,10 @@ mod tests {
         assert_eq!(g.total_tensor_bytes(), 4096 * 3 + 1024 * 2);
         assert_eq!(g.global_tensor_bytes(), 1024);
         // fwd touches x (4096) + w (1024) + y (4096).
-        assert_eq!(g.kernel_working_set_bytes(KernelId::new(0)), 4096 + 1024 + 4096);
+        assert_eq!(
+            g.kernel_working_set_bytes(KernelId::new(0)),
+            4096 + 1024 + 4096
+        );
         assert!(g.max_kernel_working_set_bytes() >= 4096 + 1024 + 4096);
     }
 
@@ -401,7 +426,13 @@ mod tests {
         let mut g = DnnGraph::new("bad");
         let x = g.add_tensor(TensorKind::Input, 16, "x");
         let _unused = g.add_tensor(TensorKind::Activation, 16, "unused");
-        g.add_kernel("k", KernelClass::Elementwise, OpCost::default(), vec![x], vec![x]);
+        g.add_kernel(
+            "k",
+            KernelClass::Elementwise,
+            OpCost::default(),
+            vec![x],
+            vec![x],
+        );
         assert!(matches!(g.validate(), Err(GraphError::UnusedTensor { .. })));
     }
 
@@ -409,7 +440,13 @@ mod tests {
     fn validation_catches_zero_sized_tensor() {
         let mut g = DnnGraph::new("bad");
         let x = g.add_tensor(TensorKind::Input, 0, "x");
-        g.add_kernel("k", KernelClass::Elementwise, OpCost::default(), vec![x], vec![x]);
+        g.add_kernel(
+            "k",
+            KernelClass::Elementwise,
+            OpCost::default(),
+            vec![x],
+            vec![x],
+        );
         assert!(matches!(
             g.validate(),
             Err(GraphError::ZeroSizedTensor { .. })
@@ -420,8 +457,20 @@ mod tests {
     fn validation_catches_empty_kernel() {
         let mut g = DnnGraph::new("bad");
         let x = g.add_tensor(TensorKind::Input, 16, "x");
-        g.add_kernel("ok", KernelClass::Elementwise, OpCost::default(), vec![x], vec![x]);
-        g.add_kernel("empty", KernelClass::Elementwise, OpCost::default(), vec![], vec![]);
+        g.add_kernel(
+            "ok",
+            KernelClass::Elementwise,
+            OpCost::default(),
+            vec![x],
+            vec![x],
+        );
+        g.add_kernel(
+            "empty",
+            KernelClass::Elementwise,
+            OpCost::default(),
+            vec![],
+            vec![],
+        );
         assert!(matches!(g.validate(), Err(GraphError::EmptyKernel { .. })));
     }
 

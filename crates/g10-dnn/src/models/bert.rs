@@ -72,7 +72,11 @@ fn encoder_layer(b: &mut GraphBuilder, name: &str, input: &Act, cfg: &BertConfig
     let probs = b.dropout(&format!("{name}.attention.dropout"), &probs);
     let ctx = b.attention_context(&format!("{name}.attention.context"), &probs, &v, cfg.heads);
     let attn_out = b.linear(&format!("{name}.attention.output.dense"), &ctx, cfg.hidden);
-    let res1 = b.add_seq(&format!("{name}.attention.output.residual"), &attn_out, input);
+    let res1 = b.add_seq(
+        &format!("{name}.attention.output.residual"),
+        &attn_out,
+        input,
+    );
     let ln1 = b.layer_norm(&format!("{name}.attention.output.ln"), &res1);
 
     // Feed-forward network.

@@ -26,7 +26,12 @@ pub fn build(batch: u64) -> DnnGraph {
 
     // --- Inception-A ×3 -----------------------------------------------------
     for (i, pool_c) in [32u64, 64, 64].iter().enumerate() {
-        features = inception_a(&mut b, &format!("mixed5{}", (b'b' + i as u8) as char), &features, *pool_c);
+        features = inception_a(
+            &mut b,
+            &format!("mixed5{}", (b'b' + i as u8) as char),
+            &features,
+            *pool_c,
+        );
     }
 
     // --- Reduction-A --------------------------------------------------------
@@ -34,7 +39,12 @@ pub fn build(batch: u64) -> DnnGraph {
 
     // --- Inception-B ×4 -----------------------------------------------------
     for (i, c7) in [128u64, 160, 160, 192].iter().enumerate() {
-        features = inception_b(&mut b, &format!("mixed6{}", (b'b' + i as u8) as char), &features, *c7);
+        features = inception_b(
+            &mut b,
+            &format!("mixed6{}", (b'b' + i as u8) as char),
+            &features,
+            *c7,
+        );
     }
 
     // --- Reduction-B --------------------------------------------------------
@@ -42,7 +52,11 @@ pub fn build(batch: u64) -> DnnGraph {
 
     // --- Inception-C ×2 -----------------------------------------------------
     for i in 0..2 {
-        features = inception_c(&mut b, &format!("mixed7{}", (b'b' + i as u8) as char), &features);
+        features = inception_c(
+            &mut b,
+            &format!("mixed7{}", (b'b' + i as u8) as char),
+            &features,
+        );
     }
 
     let pooled = b.global_avg_pool("avgpool", &features);
@@ -146,10 +160,7 @@ fn inception_c(b: &mut GraphBuilder, name: &str, input: &Act) -> Act {
     let pooled = b.avg_pool(&format!("{name}.branch_pool.avg"), input, 3, 1);
     let bp = conv_bn_relu(b, &format!("{name}.branch_pool"), &pooled, 192, 1, 1, 1);
 
-    b.concat(
-        &format!("{name}.concat"),
-        &[b1, b3_2a, b3_2b, d3a, d3b, bp],
-    )
+    b.concat(&format!("{name}.concat"), &[b1, b3_2a, b3_2b, d3a, d3b, bp])
 }
 
 #[cfg(test)]

@@ -105,7 +105,14 @@ pub(crate) fn bottleneck(
     };
 
     let shortcut = if stride != 1 || input.map().c != out_c {
-        let sc = b.conv2d(&format!("{name}.downsample.conv"), input, out_c, 1, stride, 1);
+        let sc = b.conv2d(
+            &format!("{name}.downsample.conv"),
+            input,
+            out_c,
+            1,
+            stride,
+            1,
+        );
         b.batch_norm(&format!("{name}.downsample.bn"), &sc)
     } else {
         *input
@@ -125,7 +132,11 @@ pub(crate) fn se_block(
     reduction: u64,
 ) -> Act {
     let squeezed = b.global_avg_pool(&format!("{name}.se.squeeze"), input);
-    let fc1 = b.linear(&format!("{name}.se.fc1"), &squeezed, channels / reduction.max(1));
+    let fc1 = b.linear(
+        &format!("{name}.se.fc1"),
+        &squeezed,
+        channels / reduction.max(1),
+    );
     let act = b.relu(&format!("{name}.se.relu"), &fc1);
     let fc2 = b.linear(&format!("{name}.se.fc2"), &act, channels);
     let gate = b.sigmoid(&format!("{name}.se.sigmoid"), &fc2);
@@ -188,6 +199,9 @@ mod tests {
                 .any(|k| k.name().starts_with(&format!("layer{stage}."))));
         }
         // Deepest stage has 36 blocks.
-        assert!(g.kernels().iter().any(|k| k.name().starts_with("layer3.35.")));
+        assert!(g
+            .kernels()
+            .iter()
+            .any(|k| k.name().starts_with("layer3.35.")));
     }
 }

@@ -23,14 +23,27 @@ pub fn build_cnn(batch: u64) -> DnnGraph {
     b.finish(&logits)
 }
 
-fn residual_block(b: &mut GraphBuilder, name: &str, input: &Act, channels: u64, stride: u64) -> Act {
+fn residual_block(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: &Act,
+    channels: u64,
+    stride: u64,
+) -> Act {
     let c1 = b.conv2d(&format!("{name}.conv1"), input, channels, 3, stride, 1);
     let n1 = b.batch_norm(&format!("{name}.bn1"), &c1);
     let r1 = b.relu(&format!("{name}.relu1"), &n1);
     let c2 = b.conv2d(&format!("{name}.conv2"), &r1, channels, 3, 1, 1);
     let n2 = b.batch_norm(&format!("{name}.bn2"), &c2);
     let shortcut = if stride != 1 || input.map().c != channels {
-        let sc = b.conv2d(&format!("{name}.downsample.conv"), input, channels, 1, stride, 1);
+        let sc = b.conv2d(
+            &format!("{name}.downsample.conv"),
+            input,
+            channels,
+            1,
+            stride,
+            1,
+        );
         b.batch_norm(&format!("{name}.downsample.bn"), &sc)
     } else {
         *input
@@ -88,10 +101,7 @@ mod tests {
     fn tiny_transformer_validates_and_has_attention() {
         let g = build_transformer(4);
         g.validate().unwrap();
-        assert!(g
-            .kernels()
-            .iter()
-            .any(|k| k.name().contains("attn.scores")));
+        assert!(g.kernels().iter().any(|k| k.name().contains("attn.scores")));
         assert!(g
             .tensors()
             .iter()
@@ -101,7 +111,10 @@ mod tests {
     #[test]
     fn footprints_stay_small() {
         let g = build_cnn(8);
-        assert!(g.total_tensor_bytes() < (1u64 << 30), "tiny CNN must stay under 1 GiB");
+        assert!(
+            g.total_tensor_bytes() < (1u64 << 30),
+            "tiny CNN must stay under 1 GiB"
+        );
         let t = build_transformer(8);
         assert!(t.total_tensor_bytes() < (1u64 << 30));
     }

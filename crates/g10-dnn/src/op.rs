@@ -147,9 +147,7 @@ pub fn conv2d_cost(
 ) -> OpCost {
     let groups = groups.max(1);
     // 2 FLOPs per multiply-accumulate.
-    let flops = 2.0
-        * (n * c_out * h_out * w_out) as f64
-        * ((c_in / groups) * k * k) as f64;
+    let flops = 2.0 * (n * c_out * h_out * w_out) as f64 * ((c_in / groups) * k * k) as f64;
     let input_bytes = (n * c_in * h_in * w_in * 4) as f64;
     let output_bytes = (n * c_out * h_out * w_out * 4) as f64;
     let weight_bytes = (c_out * (c_in / groups) * k * k * 4) as f64;

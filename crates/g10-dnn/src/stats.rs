@@ -147,7 +147,7 @@ pub fn inactive_periods(graph: &DnnGraph, trace: &KernelTrace) -> Vec<InactivePe
                 length: end - start,
             });
         }
-        if tensor.is_global() && sites.len() >= 1 {
+        if tensor.is_global() {
             // Wrap-around: from the last use of this iteration to the first
             // use in the next iteration.
             let last = sites[sites.len() - 1];
@@ -243,10 +243,12 @@ mod tests {
         assert!(periods.iter().any(|p| p.tensor == relu1_out));
         for p in &periods {
             assert!(p.length > Nanos::ZERO);
-            assert!(p.before_kernel.index() > p.after_kernel.index() + 1 || {
-                // wrap-around periods of global tensors may "go backwards"
-                g.tensor(p.tensor).is_global()
-            });
+            assert!(
+                p.before_kernel.index() > p.after_kernel.index() + 1 || {
+                    // wrap-around periods of global tensors may "go backwards"
+                    g.tensor(p.tensor).is_global()
+                }
+            );
         }
     }
 
@@ -264,7 +266,10 @@ mod tests {
             .iter()
             .filter(|p| p.tensor == weight && p.before_kernel.index() <= p.after_kernel.index())
             .count();
-        assert!(wrap >= 1, "weights should have a cross-iteration inactive period");
+        assert!(
+            wrap >= 1,
+            "weights should have a cross-iteration inactive period"
+        );
     }
 
     #[test]

@@ -188,7 +188,9 @@ impl EngineState {
             Location::Host | Location::Ssd => Location::Ssd,
             Location::Gpu | Location::Unallocated => return false,
         };
-        let kind = destination.mem_kind().expect("eviction destination is physical");
+        let kind = destination
+            .mem_kind()
+            .expect("eviction destination is physical");
         let now = self.now;
         let completion = self.uvm.transfer_from_gpu(bytes, kind, now);
         self.pending_gpu_free.push((completion, bytes));
@@ -368,7 +370,11 @@ impl<'a> ReplayEngine<'a> {
         policy: Box<dyn MemoryPolicy>,
         options: RuntimeOptions,
     ) -> Self {
-        assert_eq!(trace.len(), graph.num_kernels(), "trace must match the graph");
+        assert_eq!(
+            trace.len(),
+            graph.num_kernels(),
+            "trace must match the graph"
+        );
         let gpu_capacity = options
             .gpu_capacity_override
             .unwrap_or(config.gpu_memory_bytes);
@@ -615,7 +621,11 @@ impl<'a> ReplayEngine<'a> {
         // part of the kernel that used it last.
         match self.state.tensors[idx].location {
             Location::Gpu => self.state.uvm.gpu_mut().free(self.state.tensors[idx].bytes),
-            Location::Host => self.state.uvm.host_mut().free(self.state.tensors[idx].bytes),
+            Location::Host => self
+                .state
+                .uvm
+                .host_mut()
+                .free(self.state.tensors[idx].bytes),
             Location::Ssd | Location::Unallocated => {}
         }
         self.state.tensors[idx].location = Location::Unallocated;
@@ -654,7 +664,10 @@ mod tests {
         assert_eq!(report.total_time, report.ideal_time);
         assert_eq!(report.stall_time, Nanos::ZERO);
         assert_eq!(report.fault_count, 0);
-        assert!(report.kernel_slowdowns.iter().all(|s| (*s - 1.0).abs() < 1e-12));
+        assert!(report
+            .kernel_slowdowns
+            .iter()
+            .all(|s| (*s - 1.0).abs() < 1e-12));
     }
 
     #[test]

@@ -182,8 +182,7 @@ pub fn run_policy_with_planning_trace(
             if !variant.extended_uvm() {
                 options.software_overhead_per_batch = CLASSIC_UVM_BATCH_OVERHEAD;
             }
-            let plan =
-                G10Scheduler::new(*config, variant).plan(&workload.graph, planning_trace);
+            let plan = G10Scheduler::new(*config, variant).plan(&workload.graph, planning_trace);
             Box::new(G10Policy::new(plan, variant))
         }
     };
@@ -220,9 +219,9 @@ where
         .min(n);
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if idx >= n {
                     break;
@@ -231,8 +230,7 @@ where
                 results.lock()[idx] = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_inner()
         .into_iter()

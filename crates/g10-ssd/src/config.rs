@@ -131,10 +131,9 @@ impl SsdConfig {
     /// of channel streaming rate and the aggregate program throughput of the
     /// chips behind each channel.
     pub fn nominal_write_bandwidth(&self) -> f64 {
-        let per_channel_program = self.chips_per_channel as f64
-            * self.planes_per_chip as f64
-            * self.page_bytes as f64
-            / self.program_latency.as_secs_f64().max(1e-12);
+        let per_channel_program =
+            self.chips_per_channel as f64 * self.planes_per_chip as f64 * self.page_bytes as f64
+                / self.program_latency.as_secs_f64().max(1e-12);
         self.channels as f64 * per_channel_program.min(self.channel_bytes_per_sec)
     }
 }

@@ -36,7 +36,9 @@ impl fmt::Display for SsdError {
                 f,
                 "logical page {lpn} is beyond the device capacity of {capacity_pages} pages"
             ),
-            SsdError::DeviceFull => write!(f, "no free flash blocks remain after garbage collection"),
+            SsdError::DeviceFull => {
+                write!(f, "no free flash blocks remain after garbage collection")
+            }
         }
     }
 }

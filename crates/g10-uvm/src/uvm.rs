@@ -254,7 +254,11 @@ impl UnifiedMemory {
     /// Moves `bytes` into the GPU from `source` (host or flash) as a planned
     /// prefetch; returns the completion time.
     pub fn transfer_to_gpu(&mut self, bytes: u64, source: MemKind, now: Nanos) -> Nanos {
-        debug_assert_ne!(source, MemKind::Gpu, "prefetch must come from outside the GPU");
+        debug_assert_ne!(
+            source,
+            MemKind::Gpu,
+            "prefetch must come from outside the GPU"
+        );
         let start = now + self.software_overhead(bytes);
         let (_, pcie_done) = self.pcie_in.transfer(bytes, start);
         match source {

@@ -26,7 +26,11 @@ fn main() {
     );
     for model in [ModelKind::Bert, ModelKind::InceptionV3, ModelKind::SENet154] {
         let workload = Workload::new(model, model.eval_batch());
-        for policy in [PolicyKind::DeepUmPlus, PolicyKind::FlashNeuron, PolicyKind::G10Full] {
+        for policy in [
+            PolicyKind::DeepUmPlus,
+            PolicyKind::FlashNeuron,
+            PolicyKind::G10Full,
+        ] {
             let report = run_policy(&workload, policy, &config);
             let writes = report.ssd_write_bytes() as f64;
             let rate = writes / report.total_time.as_secs_f64();

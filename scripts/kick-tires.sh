@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Kick-the-tires reproducibility gate (in the spirit of artifact-evaluation
+# smoke scripts): builds the workspace, runs the quick-start example, and
+# regenerates one small piece of the paper's evaluation end-to-end.
+#
+# Usage: scripts/kick-tires.sh [--release]
+#
+# Exits non-zero if any step fails.  CI runs this on every push; a fresh
+# checkout plus `scripts/kick-tires.sh` is the fastest way to confirm the
+# simulator works on your machine.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PROFILE_FLAG="${1:---release}"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --workspace $PROFILE_FLAG"
+cargo build --workspace "$PROFILE_FLAG"
+
+step "quickstart example"
+cargo run "$PROFILE_FLAG" --example quickstart
+
+step "tiny experiments run (table2 -> $OUT_DIR)"
+cargo run "$PROFILE_FLAG" -p g10-bench --bin experiments -- table2 --out "$OUT_DIR"
+
+step "verifying experiment output"
+test -s "$OUT_DIR/table2.csv" || {
+    echo "error: experiments did not write table2.csv" >&2
+    exit 1
+}
+head -n 3 "$OUT_DIR/table2.csv"
+
+printf '\nkick-tires: all steps passed.\n'

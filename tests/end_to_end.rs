@@ -17,9 +17,15 @@ fn plan_prefetches_every_evicted_tensor_before_its_next_use() {
     let workload = Workload::new(ModelKind::TinyCnn, 64);
     let config = constrained_config();
     let analysis = VitalityAnalysis::analyze(&workload.graph, &workload.trace);
-    let plan = G10Scheduler::new(config, SchedulerVariant::Full)
-        .plan_with_analysis(&workload.graph, &workload.trace, &analysis);
-    assert!(plan.eviction_count() > 0, "the constrained GPU must force evictions");
+    let plan = G10Scheduler::new(config, SchedulerVariant::Full).plan_with_analysis(
+        &workload.graph,
+        &workload.trace,
+        &analysis,
+    );
+    assert!(
+        plan.eviction_count() > 0,
+        "the constrained GPU must force evictions"
+    );
     assert_eq!(plan.eviction_count(), plan.prefetch_count());
 
     // For every pre-eviction of a tensor after kernel E, there must be a
@@ -37,13 +43,17 @@ fn plan_prefetches_every_evicted_tensor_before_its_next_use() {
                     plan.at(g10::dnn::graph::KernelId::new(k as u32))
                         .before
                         .iter()
-                        .any(|i| matches!(i, Instruction::Prefetch { tensor: t, .. } if t == tensor))
+                        .any(
+                            |i| matches!(i, Instruction::Prefetch { tensor: t, .. } if t == tensor),
+                        )
                 });
                 let prefetched_anywhere = (0..plan.len()).any(|k| {
                     plan.at(g10::dnn::graph::KernelId::new(k as u32))
                         .before
                         .iter()
-                        .any(|i| matches!(i, Instruction::Prefetch { tensor: t, .. } if t == tensor))
+                        .any(
+                            |i| matches!(i, Instruction::Prefetch { tensor: t, .. } if t == tensor),
+                        )
                 });
                 assert!(
                     prefetched_later || (wrap && prefetched_anywhere),

@@ -38,8 +38,14 @@ fn figure11_shape_holds() {
         assert!(full >= base, "{model}: G10 must beat Base UVM");
         // Host staging never hurts relative to GDS-only, and the extended
         // UVM never hurts relative to classic UVM.
-        assert!(host >= gds - 0.02, "{model}: G10-Host must not lose to G10-GDS");
-        assert!(full >= host - 0.02, "{model}: G10 must not lose to G10-Host");
+        assert!(
+            host >= gds - 0.02,
+            "{model}: G10-Host must not lose to G10-GDS"
+        );
+        assert!(
+            full >= host - 0.02,
+            "{model}: G10 must not lose to G10-Host"
+        );
 
         g10_sum += full;
         base_sum += base;
@@ -52,8 +58,14 @@ fn figure11_shape_holds() {
     // on average.  Allow generous tolerances — the substrate is synthetic.
     let g10_avg = g10_sum / n;
     let base_avg = base_sum / n;
-    assert!(g10_avg > 0.80, "G10 should average >80% of ideal, got {g10_avg:.3}");
-    assert!(base_avg < 0.5, "Base UVM should stay well below ideal, got {base_avg:.3}");
+    assert!(
+        g10_avg > 0.80,
+        "G10 should average >80% of ideal, got {g10_avg:.3}"
+    );
+    assert!(
+        base_avg < 0.5,
+        "Base UVM should stay well below ideal, got {base_avg:.3}"
+    );
     assert!(
         g10_sum / deepum_sum > 1.15,
         "G10 should beat DeepUM+ by a clear margin"
@@ -82,7 +94,10 @@ fn ssd_bandwidth_scaling_narrows_the_gap() {
     let flash_fast = normalized(&workload, PolicyKind::FlashNeuron, &fast);
 
     assert!(g10_fast >= g10_slow - 0.02);
-    assert!(flash_fast > flash_slow, "more SSD bandwidth must help FlashNeuron");
+    assert!(
+        flash_fast > flash_slow,
+        "more SSD bandwidth must help FlashNeuron"
+    );
     assert!(g10_fast >= flash_fast);
 }
 
@@ -101,8 +116,7 @@ fn profiling_error_costs_less_than_five_percent() {
             &config,
             &noisy_trace,
         );
-        let degradation =
-            noisy.total_time.as_secs_f64() / exact.total_time.as_secs_f64() - 1.0;
+        let degradation = noisy.total_time.as_secs_f64() / exact.total_time.as_secs_f64() - 1.0;
         assert!(
             degradation < 0.05,
             "{model}: ±20% profiling error cost {:.1}% (expected <5%)",

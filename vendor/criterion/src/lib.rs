@@ -1,0 +1,157 @@
+//! Minimal offline shim for the parts of `criterion` this workspace uses.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macros, `Criterion`,
+//! `BenchmarkGroup`, `Bencher` and `black_box`.  Instead of criterion's
+//! statistical sampling, each benchmark runs a small warm-up followed by a
+//! fixed number of timed iterations and prints the mean wall-clock time —
+//! enough to compare hot paths locally and to keep `cargo bench` compiling
+//! and runnable without registry access.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Entry point handed to each benchmark function, mirroring
+/// `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark in the group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores the target time.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f` and prints the mean per-iteration wall-clock time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = bencher.elapsed.as_secs_f64() / self.sample_size as f64;
+        println!(
+            "bench {}/{}: {:>12.3} µs/iter ({} iters)",
+            self.name,
+            id,
+            mean * 1e6,
+            self.sample_size
+        );
+        self
+    }
+
+    /// Ends the group.  Present for API compatibility.
+    pub fn finish(&mut self) {}
+}
+
+/// Timing harness passed to each benchmark closure, mirroring
+/// `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for one warm-up pass plus the configured number of
+    /// timed iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Mirror of `criterion_group!`: bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness arguments (e.g. `--bench`);
+            // the shim accepts and ignores them.
+            let _args: Vec<String> = std::env::args().collect();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // one warm-up + three timed iterations
+        assert_eq!(runs, 4);
+    }
+}

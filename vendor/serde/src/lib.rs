@@ -1,0 +1,33 @@
+//! Minimal offline shim for the parts of `serde` this workspace uses.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its public data
+//! types so downstream users can persist them, but never serializes at
+//! runtime inside the workspace itself.  This shim keeps those derives
+//! compiling without registry access: the traits are blanket-implemented
+//! for every type and the derive macros expand to nothing.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+impl<T: ?Sized + for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` with the owned-deserialization marker.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

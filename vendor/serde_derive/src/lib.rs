@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives backing the offline serde shim.
+//!
+//! The shim's traits are blanket-implemented for all types, so the derives
+//! have nothing to generate; they only need to exist so `#[derive(Serialize,
+//! Deserialize)]` attributes on workspace types keep compiling.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
