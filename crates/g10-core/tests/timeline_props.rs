@@ -1,0 +1,151 @@
+//! Property tests: the indexed planning timelines (segment-tree
+//! [`MemoryTimeline`], Fenwick [`BandwidthTimeline`]) must agree with the
+//! flat-`Vec` reference implementations in `g10_core::naive` on random
+//! operation sequences.
+//!
+//! Integer-valued queries (`max_value`, `max_in`, `fits_extra`,
+//! `latest_fit`, `value`, `values`) and the integer-accumulated
+//! `reduction_above` must match *exactly*.  Aggregate `f64` sums
+//! (`free_bytes_between`) may differ in the last ulp because the Fenwick
+//! tree groups additions differently than a sequential scan, so those are
+//! compared within a tight relative tolerance and boolean saturation tests
+//! are only required to agree away from the knife's edge.
+
+use g10_core::bandwidth::{BandwidthReservation, BandwidthTimeline};
+use g10_core::naive::{NaiveBandwidthTimeline, NaiveMemoryTimeline};
+use g10_core::pressure::{MemoryTimeline, PressureTimeline};
+use g10_time::Nanos;
+use proptest::prelude::*;
+
+fn close(a: f64, b: f64) -> bool {
+    // Relative tolerance for large sums plus a sub-byte absolute floor for
+    // windows whose true free capacity is (near) zero.
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale || (a - b).abs() <= 1e-3
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn memory_timelines_agree_on_random_operations(
+        values in proptest::collection::vec(0u64..(1u64 << 38), 1..80),
+        dur_us in proptest::collection::vec(1u64..2_000, 1..80),
+        ops in proptest::collection::vec(
+            (0u8..6, 0usize..96, 1usize..96, 0u64..(1u64 << 36)),
+            1..48,
+        ),
+        capacity in 0u64..(1u64 << 38),
+    ) {
+        let n = values.len().min(dur_us.len());
+        let values = &values[..n];
+        let durations: Vec<Nanos> = dur_us[..n].iter().map(|us| Nanos::from_micros(*us)).collect();
+
+        let mut tree = MemoryTimeline::new(values, &durations);
+        let mut flat = NaiveMemoryTimeline::new(values, &durations);
+
+        for (op, a, b, amount) in ops {
+            let lo = a % (n + 1);
+            let hi = lo + b; // may exceed n: both implementations clip
+            match op {
+                0 => {
+                    tree.add(&[(lo, hi)], amount as i64);
+                    flat.add(&[(lo, hi)], amount as i64);
+                }
+                1 => {
+                    tree.add(&[(lo, hi)], -(amount as i64));
+                    flat.add(&[(lo, hi)], -(amount as i64));
+                }
+                2 => prop_assert_eq!(
+                    tree.reduction_above(&[(lo, hi)], amount, capacity),
+                    flat.reduction_above(&[(lo, hi)], amount, capacity)
+                ),
+                3 => prop_assert_eq!(
+                    tree.fits_extra(&[(lo, hi)], amount, capacity),
+                    flat.fits_extra(&[(lo, hi)], amount, capacity)
+                ),
+                4 => prop_assert_eq!(tree.max_in(&[(lo, hi)]), flat.max_in(&[(lo, hi)])),
+                5 => {
+                    let floor = lo.min(n);
+                    let end = (lo + b).min(n + 2);
+                    prop_assert_eq!(
+                        tree.latest_fit(floor, end, amount, capacity),
+                        flat.latest_fit(floor, end, amount, capacity)
+                    );
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        // Terminal state must agree everywhere, exactly.
+        prop_assert_eq!(tree.len(), flat.len());
+        prop_assert_eq!(tree.max_value(), flat.max_value());
+        prop_assert_eq!(tree.values(), flat.values());
+        for k in 0..n {
+            prop_assert_eq!(tree.value(k), flat.value(k));
+        }
+        // Both compute the area with the same sequential loop over
+        // materialised values, so even this f64 sum matches exactly.
+        prop_assert_eq!(tree.area_above(capacity), flat.area_above(capacity));
+        // Wrap-around-style split ranges agree too.
+        let split = [(0, n / 2), (n / 2 + 1, n)];
+        prop_assert_eq!(
+            tree.reduction_above(&split, 1 << 20, capacity),
+            flat.reduction_above(&split, 1 << 20, capacity)
+        );
+        prop_assert_eq!(tree.max_in(&split), flat.max_in(&split));
+    }
+
+    #[test]
+    fn bandwidth_timelines_agree_on_random_operations(
+        rate_mb in 1u64..4_000,
+        horizon_ms in 1u64..50,
+        bin_us in 100u64..2_000,
+        ops in proptest::collection::vec(
+            (0u8..3, 0u64..60_000, 1u64..5_000, 0u64..(1u64 << 28)),
+            1..48,
+        ),
+    ) {
+        let rate = rate_mb as f64 * 1e6;
+        let horizon = Nanos::from_millis(horizon_ms);
+        let bin = Nanos::from_micros(bin_us);
+        let mut fenwick = BandwidthTimeline::new(rate, horizon, bin);
+        let mut flat = NaiveBandwidthTimeline::new(rate, horizon, bin);
+        prop_assert_eq!(fenwick.bins(), flat.bins());
+
+        for (op, start_us, dur_us, bytes) in ops {
+            let start = Nanos::from_micros(start_us);
+            let end = start.saturating_add(Nanos::from_micros(dur_us));
+            match op {
+                0 => {
+                    // Per-bin arithmetic is identical between the two, so
+                    // completion times match exactly.
+                    prop_assert_eq!(fenwick.reserve(bytes, start), flat.reserve(bytes, start));
+                }
+                1 => {
+                    let a = fenwick.free_bytes_between(start, end);
+                    let b = flat.free_bytes_between(start, end);
+                    prop_assert!(close(a, b), "free bytes diverged: {a} vs {b}");
+                }
+                2 => {
+                    // Saturation verdicts must agree whenever the window is
+                    // not within float noise of exactly-full.
+                    let free = flat.free_bytes_between(start, end);
+                    if (free - bytes as f64).abs() > 1e-6 * (bytes as f64 + 1.0) {
+                        prop_assert_eq!(
+                            fenwick.is_saturated(bytes, start, Nanos::from_micros(dur_us)),
+                            flat.is_saturated(bytes, start, Nanos::from_micros(dur_us))
+                        );
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        prop_assert_eq!(fenwick.total_reserved_bytes(), flat.total_reserved_bytes());
+        prop_assert_eq!(fenwick.utilization(), flat.utilization());
+        let full_a = fenwick.free_bytes_between(Nanos::ZERO, horizon);
+        let full_b = flat.free_bytes_between(Nanos::ZERO, horizon);
+        prop_assert!(close(full_a, full_b));
+    }
+}

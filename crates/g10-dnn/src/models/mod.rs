@@ -10,6 +10,7 @@ pub mod bert;
 pub mod inception;
 pub mod resnet;
 pub mod senet;
+pub mod stress;
 pub mod tiny;
 pub mod vit;
 

@@ -1,0 +1,187 @@
+//! Synthetic deep GPT-style stress workload for planner scaling studies.
+//!
+//! The paper's models top out around 3k kernels per training iteration;
+//! systems that plan migrations over multi-iteration or multi-tenant traces
+//! (10Cache, TENSILE) see one to two orders of magnitude more.  This module
+//! builds a decoder-only transformer whose kernel count is configurable from
+//! a few hundred to 100k+ via the layer count and the number of unrolled
+//! gradient-accumulation micro-steps, so `bench_planner` and the scaling
+//! tests can measure how the migration planner behaves far beyond Table 1.
+//!
+//! The graph keeps the lifetime structure the planner feeds on: every
+//! micro-step's activations are produced in its forward pass and consumed
+//! again in its backward pass, giving each a long inactive period exactly as
+//! in Figure 3 of the paper.  Micro-steps are *unrolled* into one iteration
+//! graph (each with its own parameter copies — the layer-level builder
+//! materialises one forward and one backward pass per recorded layer), which
+//! preserves what matters for planner scaling: kernel count, tensor count
+//! and inactive-period structure all grow linearly with
+//! `layers × grad_accum_steps`.
+
+use crate::builder::{Act, GraphBuilder};
+use crate::graph::DnnGraph;
+
+/// Hyper-parameters of the stress transformer.
+#[derive(Debug, Clone, Copy)]
+pub struct StressGptConfig {
+    /// Decoder layers per micro-step.
+    pub layers: u64,
+    /// Unrolled gradient-accumulation micro-steps.
+    pub grad_accum_steps: u64,
+    /// Hidden (embedding) size.
+    pub hidden: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Feed-forward intermediate size.
+    pub ffn: u64,
+    /// Sequence length.
+    pub seq_len: u64,
+    /// Vocabulary size (kept modest so parameter tensors do not dominate).
+    pub vocab: u64,
+}
+
+/// Training-iteration kernels emitted per decoder layer: 14 forward records
+/// (2 layer-norms, 4 attention GEMMs + scores/softmax/context, 2 residuals,
+/// 2 FFN GEMMs + GELU), each with a backward kernel, plus 6 split
+/// weight-gradient kernels and 8 optimizer kernels.
+pub const KERNELS_PER_LAYER: u64 = 42;
+
+/// Kernels outside the decoder stack per micro-step (embedding + final
+/// layer-norm + head + the micro-step combine add).
+const KERNELS_PER_STEP_OVERHEAD: u64 = 13;
+
+impl StressGptConfig {
+    /// A single-step stress model with the given depth and GPT-2-small-like
+    /// widths (scaled to keep graph construction fast at extreme depths).
+    pub fn with_layers(layers: u64) -> Self {
+        StressGptConfig {
+            layers: layers.max(1),
+            grad_accum_steps: 1,
+            hidden: 512,
+            heads: 8,
+            ffn: 2048,
+            seq_len: 128,
+            vocab: 8192,
+        }
+    }
+
+    /// Picks a layer count so one micro-step lands close to `target`
+    /// training-iteration kernels (within a few percent; see
+    /// `stress_kernel_count_estimate_is_accurate`).
+    pub fn with_target_kernels(target: usize) -> Self {
+        let budget = (target as u64).saturating_sub(KERNELS_PER_STEP_OVERHEAD);
+        StressGptConfig::with_layers((budget / KERNELS_PER_LAYER).max(1))
+    }
+
+    /// Returns a copy with the given number of unrolled micro-steps.
+    pub fn with_grad_accum(mut self, steps: u64) -> Self {
+        self.grad_accum_steps = steps.max(1);
+        self
+    }
+
+    /// Predicted kernel count of the built graph.
+    pub fn estimated_kernels(&self) -> u64 {
+        // Per micro-step: the decoder stack plus embedding (2 kernels +
+        // optimizer), final layer-norm (3), head linear (4) and, for steps
+        // after the first, the combine residual (3).  The loss kernel and
+        // the first step's missing combine cancel against the per-step
+        // constant; see the accuracy test.
+        self.grad_accum_steps * (self.layers * KERNELS_PER_LAYER + KERNELS_PER_STEP_OVERHEAD) - 2
+    }
+}
+
+/// Builds the stress workload's training iteration.
+pub fn build(batch: u64, cfg: &StressGptConfig) -> DnnGraph {
+    let mut b = GraphBuilder::new("StressGPT", batch);
+    let mut combined: Option<Act> = None;
+    for step in 0..cfg.grad_accum_steps {
+        let prefix = format!("step{step}");
+        let mut x = b.embedding(
+            &format!("{prefix}.embed"),
+            cfg.seq_len,
+            cfg.hidden,
+            cfg.vocab,
+        );
+        for layer in 0..cfg.layers {
+            x = decoder_layer(&mut b, &format!("{prefix}.layer{layer}"), &x, cfg);
+        }
+        let xn = b.layer_norm(&format!("{prefix}.final_ln"), &x);
+        let logits = b.linear(&format!("{prefix}.head"), &xn, cfg.vocab);
+        combined = Some(match combined {
+            None => logits,
+            Some(acc) => b.add_seq(&format!("{prefix}.combine"), &acc, &logits),
+        });
+    }
+    let final_output = combined.expect("at least one micro-step");
+    b.finish(&final_output)
+}
+
+fn decoder_layer(b: &mut GraphBuilder, name: &str, input: &Act, cfg: &StressGptConfig) -> Act {
+    // Pre-norm GPT block.
+    let ln1 = b.layer_norm(&format!("{name}.ln1"), input);
+    let q = b.linear(&format!("{name}.attn.q"), &ln1, cfg.hidden);
+    let k = b.linear(&format!("{name}.attn.k"), &ln1, cfg.hidden);
+    let v = b.linear(&format!("{name}.attn.v"), &ln1, cfg.hidden);
+    let scores = b.attention_scores(&format!("{name}.attn.scores"), &q, &k, cfg.heads);
+    let probs = b.softmax(&format!("{name}.attn.softmax"), &scores);
+    let ctx = b.attention_context(&format!("{name}.attn.context"), &probs, &v, cfg.heads);
+    let proj = b.linear(&format!("{name}.attn.proj"), &ctx, cfg.hidden);
+    let res1 = b.add_seq(&format!("{name}.attn.residual"), &proj, input);
+    let ln2 = b.layer_norm(&format!("{name}.ln2"), &res1);
+    let fc1 = b.linear(&format!("{name}.ffn.fc1"), &ln2, cfg.ffn);
+    let act = b.gelu(&format!("{name}.ffn.gelu"), &fc1);
+    let fc2 = b.linear(&format!("{name}.ffn.fc2"), &act, cfg.hidden);
+    b.add_seq(&format!("{name}.ffn.residual"), &fc2, &res1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stress_model_builds_and_validates() {
+        let cfg = StressGptConfig::with_layers(4);
+        let g = build(2, &cfg);
+        g.validate().unwrap();
+        assert!(g
+            .kernels()
+            .iter()
+            .any(|k| k.name().contains("layer3.attn.scores")));
+    }
+
+    #[test]
+    fn stress_kernel_count_estimate_is_accurate() {
+        for (layers, steps) in [(2, 1), (5, 1), (3, 2), (2, 4)] {
+            let cfg = StressGptConfig::with_layers(layers).with_grad_accum(steps);
+            let g = build(1, &cfg);
+            let got = g.num_kernels() as i64;
+            let predicted = cfg.estimated_kernels() as i64;
+            assert!(
+                (got - predicted).abs() <= 4,
+                "layers={layers} steps={steps}: predicted {predicted}, built {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn target_kernel_count_is_hit_within_tolerance() {
+        for target in [500usize, 2_000] {
+            let cfg = StressGptConfig::with_target_kernels(target);
+            let g = build(1, &cfg);
+            let got = g.num_kernels() as f64;
+            let want = target as f64;
+            assert!(
+                (got - want).abs() / want < 0.15,
+                "target {target}: built {got} kernels"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_accum_steps_multiply_depth() {
+        let one = build(1, &StressGptConfig::with_layers(3));
+        let four = build(1, &StressGptConfig::with_layers(3).with_grad_accum(4));
+        assert!(four.num_kernels() > 3 * one.num_kernels());
+        assert!(four.num_tensors() > 3 * one.num_tensors());
+    }
+}

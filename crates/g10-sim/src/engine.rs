@@ -21,6 +21,44 @@ use g10_time::Nanos;
 use g10_uvm::{MemKind, UnifiedMemory, UnifiedMemoryConfig};
 use std::collections::HashSet;
 
+/// A fixed-universe bitset over tensor indices: O(1) insert/remove and
+/// dense in-order iteration, used as the GPU resident-set index.
+#[derive(Debug, Clone)]
+struct ResidentSet {
+    words: Vec<u64>,
+}
+
+impl ResidentSet {
+    fn new(universe: usize) -> Self {
+        ResidentSet {
+            words: vec![0; universe.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    fn remove(&mut self, idx: usize) {
+        self.words[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    /// Iterates set indices in increasing order.
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + tz)
+            })
+        })
+    }
+}
+
 /// Where a tensor currently lives in the simulated system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Location {
@@ -85,6 +123,12 @@ pub struct EngineState {
     tensors: Vec<TensorRuntime>,
     /// GPU bytes that will be freed when an outbound eviction completes.
     pending_gpu_free: Vec<(Nanos, u64)>,
+    /// Running sum of the `pending_gpu_free` byte counts, so the projected
+    /// free-space checks do not re-sum the list per victim candidate.
+    pending_gpu_free_bytes: u64,
+    /// Index of GPU-resident tensors (ordered, so victim scans iterate in
+    /// tensor-id order exactly like the former full-table scan).
+    resident_gpu: ResidentSet,
     protected: Vec<bool>,
     pays_fault_overhead: bool,
     prefetches_issued: u64,
@@ -130,14 +174,33 @@ impl EngineState {
     /// Iterator over tensors that could be evicted right now: resident in
     /// GPU memory, not used by the current kernel, and not in flight.
     /// Yields `(tensor, last_touch_kernel, bytes)`.
+    ///
+    /// Backed by the resident-set index, so victim selection scans only the
+    /// tensors actually in GPU memory instead of the whole tensor table.
+    /// Iteration stays in tensor-id order (the order of the former full
+    /// scan), so tie-breaking in the policies is unchanged.
     pub fn evictable_tensors(&self) -> impl Iterator<Item = (TensorId, usize, u64)> + '_ {
-        self.tensors.iter().enumerate().filter_map(|(idx, t)| {
-            if t.location == Location::Gpu && t.inbound_ready.is_none() && !self.protected[idx] {
+        self.resident_gpu.iter().filter_map(move |idx| {
+            let t = &self.tensors[idx];
+            debug_assert!(t.location == Location::Gpu && t.inbound_ready.is_none());
+            if !self.protected[idx] {
                 Some((TensorId::new(idx as u32), t.last_touch, t.bytes))
             } else {
                 None
             }
         })
+    }
+
+    /// Moves a tensor between locations, keeping the resident-set index in
+    /// sync with its GPU membership.
+    fn set_location(&mut self, idx: usize, location: Location) {
+        let was = self.tensors[idx].location;
+        if was == Location::Gpu && location != Location::Gpu {
+            self.resident_gpu.remove(idx);
+        } else if was != Location::Gpu && location == Location::Gpu {
+            self.resident_gpu.insert(idx);
+        }
+        self.tensors[idx].location = location;
     }
 
     /// Starts an asynchronous prefetch of `tensor` into GPU memory.  Returns
@@ -194,7 +257,8 @@ impl EngineState {
         let now = self.now;
         let completion = self.uvm.transfer_from_gpu(bytes, kind, now);
         self.pending_gpu_free.push((completion, bytes));
-        self.tensors[idx].location = destination;
+        self.pending_gpu_free_bytes += bytes;
+        self.set_location(idx, destination);
         self.evictions_issued += 1;
         true
     }
@@ -221,8 +285,7 @@ impl EngineState {
         self.apply_pending(self.now);
         if self.uvm.gpu().free_bytes() < bytes {
             loop {
-                let projected: u64 = self.uvm.gpu().free_bytes()
-                    + self.pending_gpu_free.iter().map(|(_, b)| *b).sum::<u64>();
+                let projected: u64 = self.uvm.gpu().free_bytes() + self.pending_gpu_free_bytes;
                 if projected >= bytes {
                     break;
                 }
@@ -282,6 +345,7 @@ impl EngineState {
             }
         });
         if freed > 0 {
+            self.pending_gpu_free_bytes -= freed;
             self.uvm.gpu_mut().free(freed);
         }
     }
@@ -291,7 +355,7 @@ impl EngineState {
         if let Some(ready) = self.tensors[idx].inbound_ready {
             if ready <= self.now {
                 self.tensors[idx].inbound_ready = None;
-                self.tensors[idx].location = Location::Gpu;
+                self.set_location(idx, Location::Gpu);
             }
         }
     }
@@ -311,8 +375,7 @@ impl EngineState {
         // Keep evicting until currently-free plus in-flight frees cover the
         // request, or the policy gives up.
         loop {
-            let projected: u64 = self.uvm.gpu().free_bytes()
-                + self.pending_gpu_free.iter().map(|(_, b)| *b).sum::<u64>();
+            let projected: u64 = self.uvm.gpu().free_bytes() + self.pending_gpu_free_bytes;
             if projected >= needed {
                 break;
             }
@@ -455,6 +518,12 @@ impl<'a> ReplayEngine<'a> {
         }
 
         let num_tensors = graph.num_tensors();
+        let mut resident_gpu = ResidentSet::new(num_tensors);
+        for (idx, t) in tensors.iter().enumerate() {
+            if t.location == Location::Gpu {
+                resident_gpu.insert(idx);
+            }
+        }
         ReplayEngine {
             graph,
             trace,
@@ -463,6 +532,8 @@ impl<'a> ReplayEngine<'a> {
                 uvm,
                 tensors,
                 pending_gpu_free: Vec::new(),
+                pending_gpu_free_bytes: 0,
+                resident_gpu,
                 protected: vec![false; num_tensors],
                 pays_fault_overhead: policy.pays_fault_overhead(),
                 prefetches_issued: 0,
@@ -531,7 +602,7 @@ impl<'a> ReplayEngine<'a> {
                         self.state.uvm.gpu_mut().force_allocate(bytes);
                         self.state.oversubscribed = true;
                     }
-                    self.state.tensors[idx].location = Location::Gpu;
+                    self.state.set_location(idx, Location::Gpu);
                 }
                 Location::Host | Location::Ssd => {
                     if let Some(arrival) = self.state.tensors[idx].inbound_ready {
@@ -628,7 +699,7 @@ impl<'a> ReplayEngine<'a> {
                 .free(self.state.tensors[idx].bytes),
             Location::Ssd | Location::Unallocated => {}
         }
-        self.state.tensors[idx].location = Location::Unallocated;
+        self.state.set_location(idx, Location::Unallocated);
         self.state.tensors[idx].inbound_ready = None;
     }
 }
