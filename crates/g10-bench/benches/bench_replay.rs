@@ -1,22 +1,130 @@
-//! Criterion bench: end-to-end replay of the Figure-11 workloads under the
-//! full G10 design (plan + replay), one benchmark per evaluated model.
+//! Criterion bench: replay-engine scaling — the naive linear-scan victim
+//! selection vs the incremental victim index, replaying the synthetic deep
+//! GPT stress workload (`g10_dnn::models::stress`) under the
+//! eviction-heaviest designs (Base UVM and DeepUM+) on a GPU sized to half
+//! the workload's peak live bytes.
+//!
+//! Both engine paths replay identical workloads, so the printed means are
+//! directly comparable; the `replay_speedup` lines summarise the ratio and
+//! assert that the two paths produce identical `SimReport`s.  A second
+//! group keeps the Figure-11 end-to-end G10 replays (plan + replay per
+//! paper model) visible.  Set `G10_BENCH_SMOKE=1` to run a reduced size
+//! (used by the scheduled CI job to keep replay wall-time visible without
+//! paying for the full 10k-kernel naive baseline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use g10_core::config::SystemConfig;
+use g10_core::vitality::VitalityAnalysis;
+use g10_dnn::models::stress::StressGptConfig;
 use g10_dnn::models::ModelKind;
-use g10_sim::runner::{run_policy, PolicyKind, Workload};
+use g10_sim::engine::RuntimeOptions;
+use g10_sim::metrics::SimReport;
+use g10_sim::runner::{parallel_map, run_policy, run_policy_with_options, PolicyKind, Workload};
+use g10_sim::VictimSelection;
+use std::time::Instant;
+
+struct StressCase {
+    label: String,
+    workload: Workload,
+    config: SystemConfig,
+}
+
+fn stress_case(target_kernels: usize) -> StressCase {
+    // Batch 2: small activations, so the constrained GPU holds many
+    // resident tensors and victim selection dominates the naive path.
+    let workload = Workload::stress(2, &StressGptConfig::with_target_kernels(target_kernels));
+    let analysis = VitalityAnalysis::analyze(&workload.graph, &workload.trace);
+    // Half the peak live bytes: deep oversubscription, so the replay faults
+    // and evicts continuously at every size.
+    let config = SystemConfig::table2().with_gpu_memory(analysis.peak_live_bytes() / 2);
+    StressCase {
+        label: format!("{}_kernels", workload.graph.num_kernels()),
+        workload,
+        config,
+    }
+}
+
+fn replay(case: &StressCase, policy: PolicyKind, selection: VictimSelection) -> SimReport {
+    run_policy_with_options(
+        &case.workload,
+        policy,
+        &case.config,
+        &case.workload.trace,
+        RuntimeOptions {
+            victim_selection: selection,
+            ..RuntimeOptions::default()
+        },
+    )
+}
+
+const POLICIES: [PolicyKind; 2] = [PolicyKind::BaseUvm, PolicyKind::DeepUmPlus];
 
 fn bench_replay(c: &mut Criterion) {
-    let config = SystemConfig::table2();
-    let mut group = c.benchmark_group("fig11_replay_g10");
-    group.sample_size(10);
-    for model in ModelKind::PAPER_MODELS {
-        let workload = Workload::new(model, model.eval_batch());
-        group.bench_function(model.name(), |b| {
-            b.iter(|| run_policy(&workload, PolicyKind::G10Full, &config))
-        });
+    let smoke = std::env::var("G10_BENCH_SMOKE").is_ok();
+    let sizes: &[usize] = if smoke { &[1_000] } else { &[2_000, 10_000] };
+    let cases = parallel_map(sizes.to_vec(), |target| stress_case(*target));
+
+    let mut group = c.benchmark_group("replay_indexed");
+    group.sample_size(if smoke { 3 } else { 5 });
+    for case in &cases {
+        for policy in POLICIES {
+            group.bench_function(format!("{}/{}", case.label, policy), |b| {
+                b.iter(|| black_box(replay(case, policy, VictimSelection::Indexed)))
+            });
+        }
     }
     group.finish();
+
+    let mut group = c.benchmark_group("replay_naive");
+    group.sample_size(if smoke { 3 } else { 2 });
+    for case in &cases {
+        for policy in POLICIES {
+            group.bench_function(format!("{}/{}", case.label, policy), |b| {
+                b.iter(|| black_box(replay(case, policy, VictimSelection::NaiveScan)))
+            });
+        }
+    }
+    group.finish();
+
+    // One timed head-to-head run per (size, policy) so the ratio is printed
+    // directly, with report identity asserted on the way.
+    for case in &cases {
+        for policy in POLICIES {
+            let start = Instant::now();
+            let indexed = replay(case, policy, VictimSelection::Indexed);
+            let indexed_time = start.elapsed();
+            let start = Instant::now();
+            let naive = replay(case, policy, VictimSelection::NaiveScan);
+            let naive_time = start.elapsed();
+            assert_eq!(indexed, naive, "naive and indexed replays diverged");
+            println!(
+                "bench replay_speedup/{}/{}: naive {:>10.3} ms, indexed {:>9.3} ms, \
+                 speedup {:>6.1}x ({} evictions, {} faults)",
+                case.label,
+                policy,
+                naive_time.as_secs_f64() * 1e3,
+                indexed_time.as_secs_f64() * 1e3,
+                naive_time.as_secs_f64() / indexed_time.as_secs_f64().max(1e-12),
+                indexed.evictions_issued,
+                indexed.fault_count,
+            );
+        }
+    }
+
+    // The Figure-11 end-to-end G10 replays (plan + replay), one per paper
+    // model, unchanged from the pre-refactor bench.
+    if !smoke {
+        let config = SystemConfig::table2();
+        let mut group = c.benchmark_group("fig11_replay_g10");
+        group.sample_size(10);
+        for model in ModelKind::PAPER_MODELS {
+            let workload = Workload::new(model, model.eval_batch());
+            group.bench_function(model.name(), |b| {
+                b.iter(|| run_policy(&workload, PolicyKind::G10Full, &config))
+            });
+        }
+        group.finish();
+    }
 }
 
 criterion_group!(benches, bench_replay);

@@ -116,6 +116,27 @@ impl MigrationPlan {
         &self.kernels[kernel.index()]
     }
 
+    /// Instructions issued before the given kernel launches, as a borrowed
+    /// slice (so runtime executors do not clone the instruction `Vec` per
+    /// kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel id is out of range.
+    pub fn before(&self, kernel: KernelId) -> &[Instruction] {
+        &self.kernels[kernel.index()].before
+    }
+
+    /// Instructions issued after the given kernel completes, as a borrowed
+    /// slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel id is out of range.
+    pub fn after(&self, kernel: KernelId) -> &[Instruction] {
+        &self.kernels[kernel.index()].after
+    }
+
     /// Adds an instruction before the given kernel.
     pub fn push_before(&mut self, kernel: KernelId, instruction: Instruction) {
         self.kernels[kernel.index()].before.push(instruction);

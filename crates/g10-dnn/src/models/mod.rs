@@ -37,6 +37,11 @@ pub enum ModelKind {
     TinyCnn,
     /// A 2-layer toy transformer, small enough for unit tests.
     TinyTransformer,
+    /// The synthetic deep GPT-style stress transformer
+    /// ([`stress`]), used by the planner/replay scaling studies.  Built here
+    /// at a fixed default depth; the scaling harnesses size it explicitly
+    /// via [`stress::StressGptConfig`].
+    StressGpt,
 }
 
 impl ModelKind {
@@ -59,6 +64,7 @@ impl ModelKind {
             ModelKind::SENet154 => "SENet154",
             ModelKind::TinyCnn => "TinyCNN",
             ModelKind::TinyTransformer => "TinyTransformer",
+            ModelKind::StressGpt => "StressGPT",
         }
     }
 
@@ -72,6 +78,7 @@ impl ModelKind {
             ModelKind::SENet154 => 1024,
             ModelKind::TinyCnn => 32,
             ModelKind::TinyTransformer => 32,
+            ModelKind::StressGpt => 8,
         }
     }
 
@@ -85,6 +92,7 @@ impl ModelKind {
             ModelKind::SENet154 => 512,
             ModelKind::TinyCnn => 16,
             ModelKind::TinyTransformer => 16,
+            ModelKind::StressGpt => 8,
         }
     }
 
@@ -97,6 +105,7 @@ impl ModelKind {
             ModelKind::ResNet152 => vec![256, 512, 768, 1024, 1280],
             ModelKind::SENet154 => vec![256, 512, 768, 1024],
             ModelKind::TinyCnn | ModelKind::TinyTransformer => vec![8, 16, 32],
+            ModelKind::StressGpt => vec![4, 8, 16],
         }
     }
 
@@ -115,7 +124,7 @@ impl ModelKind {
             ModelKind::InceptionV3 => 22.0,
             ModelKind::ResNet152 => 44.0,
             ModelKind::SENet154 => 48.0,
-            ModelKind::TinyCnn | ModelKind::TinyTransformer => 1.0,
+            ModelKind::TinyCnn | ModelKind::TinyTransformer | ModelKind::StressGpt => 1.0,
         }
     }
 
@@ -123,7 +132,7 @@ impl ModelKind {
     /// otherwise).
     pub const fn throughput_unit(self) -> &'static str {
         match self {
-            ModelKind::Bert | ModelKind::TinyTransformer => "sequence/sec",
+            ModelKind::Bert | ModelKind::TinyTransformer | ModelKind::StressGpt => "sequence/sec",
             _ => "image/sec",
         }
     }
@@ -147,6 +156,7 @@ impl FromStr for ModelKind {
             "senet154" | "senet" => Ok(ModelKind::SENet154),
             "tinycnn" => Ok(ModelKind::TinyCnn),
             "tinytransformer" => Ok(ModelKind::TinyTransformer),
+            "stressgpt" => Ok(ModelKind::StressGpt),
             other => Err(format!("unknown model name: {other}")),
         }
     }
@@ -173,6 +183,7 @@ pub fn build_model(kind: ModelKind, batch: u64) -> DnnGraph {
         ModelKind::SENet154 => senet::build(batch),
         ModelKind::TinyCnn => tiny::build_cnn(batch),
         ModelKind::TinyTransformer => tiny::build_transformer(batch),
+        ModelKind::StressGpt => stress::build(batch, &stress::StressGptConfig::with_layers(12)),
     }
 }
 
@@ -195,6 +206,7 @@ mod tests {
             ModelKind::SENet154,
             ModelKind::TinyCnn,
             ModelKind::TinyTransformer,
+            ModelKind::StressGpt,
         ] {
             let parsed: ModelKind = kind.name().parse().unwrap();
             assert_eq!(parsed, kind);

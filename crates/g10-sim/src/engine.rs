@@ -13,13 +13,14 @@
 
 use crate::metrics::SimReport;
 use crate::policy::MemoryPolicy;
+use crate::victim::VictimIndex;
 use g10_core::config::SystemConfig;
 use g10_dnn::graph::{DnnGraph, KernelId};
 use g10_dnn::tensor::TensorId;
 use g10_dnn::trace::KernelTrace;
 use g10_time::Nanos;
 use g10_uvm::{MemKind, UnifiedMemory, UnifiedMemoryConfig};
-use std::collections::HashSet;
+use std::collections::BTreeMap;
 
 /// A fixed-universe bitset over tensor indices: O(1) insert/remove and
 /// dense in-order iteration, used as the GPU resident-set index.
@@ -59,6 +60,30 @@ impl ResidentSet {
     }
 }
 
+/// Flattens each kernel's *unique* working set into one CSR-style arena:
+/// kernel `k`'s tensors are `flat[offsets[k]..offsets[k + 1]]`, in
+/// first-occurrence order.  Deduplication uses an epoch-stamped scratch
+/// array — one allocation for the whole trace, no per-kernel hash set.
+/// Shared by the replay engine and the DeepUM+ prefetcher so both agree on
+/// what a kernel's working set is.
+pub(crate) fn flatten_working_sets(graph: &DnnGraph) -> (Vec<TensorId>, Vec<usize>) {
+    let mut flat = Vec::new();
+    let mut offsets = Vec::with_capacity(graph.num_kernels() + 1);
+    offsets.push(0);
+    let mut seen_epoch = vec![u32::MAX; graph.num_tensors()];
+    for (k, kernel) in graph.kernels().iter().enumerate() {
+        for t in kernel.tensors() {
+            let stamp = &mut seen_epoch[t.index()];
+            if *stamp != k as u32 {
+                *stamp = k as u32;
+                flat.push(t);
+            }
+        }
+        offsets.push(flat.len());
+    }
+    (flat, offsets)
+}
+
 /// Where a tensor currently lives in the simulated system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Location {
@@ -83,6 +108,22 @@ impl Location {
     }
 }
 
+/// How the engine picks eviction victims for the LRU / largest-victim
+/// selection helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimSelection {
+    /// The incrementally-maintained ordered index
+    /// ([`crate::victim::VictimIndex`]): O(log R) per selection.  The
+    /// default.
+    #[default]
+    Indexed,
+    /// The pre-refactor full linear scan over
+    /// [`EngineState::evictable_tensors`] ([`crate::naive`]): O(R) per
+    /// selection.  Kept as the property-tested reference and the
+    /// `bench_replay` / `replay_scaling` baseline.
+    NaiveScan,
+}
+
 /// Extra runtime knobs that differ between the compared designs.
 #[derive(Debug, Clone, Copy)]
 pub struct RuntimeOptions {
@@ -93,6 +134,9 @@ pub struct RuntimeOptions {
     /// migrations (non-zero for designs running on the classic UVM driver:
     /// G10-GDS and G10-Host).
     pub software_overhead_per_batch: Nanos,
+    /// Victim-selection implementation (indexed by default; the naive scan
+    /// is for reference runs and benchmarks).
+    pub victim_selection: VictimSelection,
 }
 
 impl Default for RuntimeOptions {
@@ -100,6 +144,7 @@ impl Default for RuntimeOptions {
         RuntimeOptions {
             gpu_capacity_override: None,
             software_overhead_per_batch: Nanos::ZERO,
+            victim_selection: VictimSelection::Indexed,
         }
     }
 }
@@ -121,14 +166,23 @@ pub struct EngineState {
     now: Nanos,
     uvm: UnifiedMemory,
     tensors: Vec<TensorRuntime>,
-    /// GPU bytes that will be freed when an outbound eviction completes.
-    pending_gpu_free: Vec<(Nanos, u64)>,
-    /// Running sum of the `pending_gpu_free` byte counts, so the projected
-    /// free-space checks do not re-sum the list per victim candidate.
+    /// GPU bytes that will be freed when outbound evictions complete,
+    /// aggregated by completion time and kept in time order, so
+    /// [`EngineState::space_available_at`] walks completions in order
+    /// directly instead of cloning and sorting a flat list per call.
+    pending_gpu_free: BTreeMap<Nanos, u64>,
+    /// Running prefix of the `pending_gpu_free` byte counts, so the
+    /// projected free-space checks do not re-sum the ledger per victim
+    /// candidate.
     pending_gpu_free_bytes: u64,
     /// Index of GPU-resident tensors (ordered, so victim scans iterate in
     /// tensor-id order exactly like the former full-table scan).
     resident_gpu: ResidentSet,
+    /// Ordered victim index over the evictable residents, maintained
+    /// incrementally on every location / last-touch change.
+    victims: VictimIndex,
+    /// Which victim-selection implementation the selection helpers use.
+    victim_selection: VictimSelection,
     protected: Vec<bool>,
     pays_fault_overhead: bool,
     prefetches_issued: u64,
@@ -191,16 +245,74 @@ impl EngineState {
         })
     }
 
-    /// Moves a tensor between locations, keeping the resident-set index in
-    /// sync with its GPU membership.
+    /// Moves a tensor between locations, keeping the resident-set and the
+    /// victim indexes in sync with its GPU membership.
     fn set_location(&mut self, idx: usize, location: Location) {
-        let was = self.tensors[idx].location;
-        if was == Location::Gpu && location != Location::Gpu {
+        let t = self.tensors[idx];
+        if t.location == Location::Gpu && location != Location::Gpu {
             self.resident_gpu.remove(idx);
-        } else if was != Location::Gpu && location == Location::Gpu {
+            self.victims.remove(idx as u32, t.last_touch, t.bytes);
+        } else if t.location != Location::Gpu && location == Location::Gpu {
             self.resident_gpu.insert(idx);
+            self.victims.insert(idx as u32, t.last_touch, t.bytes);
         }
         self.tensors[idx].location = location;
+    }
+
+    /// Records that `kernel` just used the tensor, re-keying the victim
+    /// index if the tensor is an evictable resident.
+    fn touch(&mut self, idx: usize, kernel: usize) {
+        let old = self.tensors[idx].last_touch;
+        if old != kernel {
+            self.tensors[idx].last_touch = kernel;
+            self.victims.touch(idx as u32, old, kernel);
+        }
+    }
+
+    /// The tensor the LRU selection helper would evict right now: the first
+    /// unprotected evictable resident by `(last_touch, tensor_id)`.
+    ///
+    /// Dispatches on [`RuntimeOptions::victim_selection`]; the indexed path
+    /// is cross-checked against the linear scan in debug builds.
+    pub fn lru_victim_candidate(&self) -> Option<TensorId> {
+        match self.victim_selection {
+            VictimSelection::NaiveScan => crate::naive::lru_scan(self),
+            VictimSelection::Indexed => {
+                let picked = self
+                    .victims
+                    .lru(|idx| self.protected[idx as usize])
+                    .map(TensorId::new);
+                debug_assert_eq!(
+                    picked,
+                    crate::naive::lru_scan(self),
+                    "victim index diverged from the LRU linear scan"
+                );
+                picked
+            }
+        }
+    }
+
+    /// The tensor the largest-victim selection helper would evict right
+    /// now: the last unprotected evictable resident by `(bytes, tensor_id)`.
+    ///
+    /// Dispatches on [`RuntimeOptions::victim_selection`]; the indexed path
+    /// is cross-checked against the linear scan in debug builds.
+    pub fn largest_victim_candidate(&self) -> Option<TensorId> {
+        match self.victim_selection {
+            VictimSelection::NaiveScan => crate::naive::largest_scan(self),
+            VictimSelection::Indexed => {
+                let picked = self
+                    .victims
+                    .largest(|idx| self.protected[idx as usize])
+                    .map(TensorId::new);
+                debug_assert_eq!(
+                    picked,
+                    crate::naive::largest_scan(self),
+                    "victim index diverged from the largest-victim linear scan"
+                );
+                picked
+            }
+        }
     }
 
     /// Starts an asynchronous prefetch of `tensor` into GPU memory.  Returns
@@ -256,7 +368,7 @@ impl EngineState {
             .expect("eviction destination is physical");
         let now = self.now;
         let completion = self.uvm.transfer_from_gpu(bytes, kind, now);
-        self.pending_gpu_free.push((completion, bytes));
+        *self.pending_gpu_free.entry(completion).or_insert(0) += bytes;
         self.pending_gpu_free_bytes += bytes;
         self.set_location(idx, destination);
         self.evictions_issued += 1;
@@ -317,15 +429,15 @@ impl EngineState {
     }
 
     /// Earliest time at which `needed` bytes of GPU memory will be free,
-    /// given the evictions already in flight.
+    /// given the evictions already in flight.  The ledger is kept ordered by
+    /// completion time, so this is a single in-order walk — no clone, no
+    /// sort.
     fn space_available_at(&self, needed: u64) -> Nanos {
         let mut free = self.uvm.gpu().free_bytes();
         if free >= needed {
             return self.now;
         }
-        let mut pending = self.pending_gpu_free.clone();
-        pending.sort_by_key(|(t, _)| *t);
-        for (time, bytes) in pending {
+        for (&time, &bytes) in &self.pending_gpu_free {
             free += bytes;
             if free >= needed {
                 return time.max(self.now);
@@ -336,14 +448,12 @@ impl EngineState {
 
     fn apply_pending(&mut self, now: Nanos) {
         let mut freed = 0u64;
-        self.pending_gpu_free.retain(|(t, bytes)| {
-            if *t <= now {
-                freed += *bytes;
-                false
-            } else {
-                true
+        while let Some(entry) = self.pending_gpu_free.first_entry() {
+            if *entry.key() > now {
+                break;
             }
-        });
+            freed += entry.remove();
+        }
         if freed > 0 {
             self.pending_gpu_free_bytes -= freed;
             self.uvm.gpu_mut().free(freed);
@@ -397,10 +507,8 @@ impl EngineState {
             return self.now;
         }
         // Find the earliest completion time at which enough space is free.
-        let mut pending = self.pending_gpu_free.clone();
-        pending.sort_by_key(|(t, _)| *t);
         let mut free = self.uvm.gpu().free_bytes();
-        for (time, bytes) in pending {
+        for (&time, &bytes) in &self.pending_gpu_free {
             free += bytes;
             if free >= needed {
                 return time;
@@ -417,7 +525,13 @@ pub struct ReplayEngine<'a> {
     trace: &'a KernelTrace,
     policy: Box<dyn MemoryPolicy>,
     state: EngineState,
-    required: Vec<Vec<TensorId>>,
+    /// Per-kernel unique working sets, flattened into one arena indexed by
+    /// `required_offsets` (kernel `k`'s tensors are
+    /// `required_flat[required_offsets[k]..required_offsets[k + 1]]`), so
+    /// the step loop borrows them as slices instead of cloning a `Vec` per
+    /// kernel.
+    required_flat: Vec<TensorId>,
+    required_offsets: Vec<usize>,
     kernel_slowdowns: Vec<f64>,
     stall_time: Nanos,
     working_set_exceeds_gpu: bool,
@@ -498,30 +612,24 @@ impl<'a> ReplayEngine<'a> {
             });
         }
 
-        // Per-kernel unique working sets.
-        let mut required = Vec::with_capacity(graph.num_kernels());
-        let mut working_set_exceeds_gpu = false;
-        for kernel in graph.kernels() {
-            let mut seen = HashSet::new();
-            let mut list = Vec::new();
-            let mut ws = 0u64;
-            for t in kernel.tensors() {
-                if seen.insert(t) {
-                    ws += graph.tensor(t).bytes();
-                    list.push(t);
-                }
-            }
-            if ws > gpu_capacity {
-                working_set_exceeds_gpu = true;
-            }
-            required.push(list);
-        }
-
+        // Per-kernel unique working sets, flattened into one arena.
         let num_tensors = graph.num_tensors();
+        let num_kernels = graph.num_kernels();
+        let (required_flat, required_offsets) = flatten_working_sets(graph);
+        let working_set_exceeds_gpu = required_offsets.windows(2).any(|w| {
+            let ws: u64 = required_flat[w[0]..w[1]]
+                .iter()
+                .map(|&t| graph.tensor(t).bytes())
+                .sum();
+            ws > gpu_capacity
+        });
+
         let mut resident_gpu = ResidentSet::new(num_tensors);
+        let mut victims = VictimIndex::new();
         for (idx, t) in tensors.iter().enumerate() {
             if t.location == Location::Gpu {
                 resident_gpu.insert(idx);
+                victims.insert(idx as u32, t.last_touch, t.bytes);
             }
         }
         ReplayEngine {
@@ -531,9 +639,11 @@ impl<'a> ReplayEngine<'a> {
                 now: Nanos::ZERO,
                 uvm,
                 tensors,
-                pending_gpu_free: Vec::new(),
+                pending_gpu_free: BTreeMap::new(),
                 pending_gpu_free_bytes: 0,
                 resident_gpu,
+                victims,
+                victim_selection: options.victim_selection,
                 protected: vec![false; num_tensors],
                 pays_fault_overhead: policy.pays_fault_overhead(),
                 prefetches_issued: 0,
@@ -542,8 +652,9 @@ impl<'a> ReplayEngine<'a> {
                 oversubscribed: false,
             },
             policy,
-            required,
-            kernel_slowdowns: Vec::with_capacity(graph.num_kernels()),
+            required_flat,
+            required_offsets,
+            kernel_slowdowns: Vec::with_capacity(num_kernels),
             stall_time: Nanos::ZERO,
             working_set_exceeds_gpu,
         }
@@ -578,16 +689,22 @@ impl<'a> ReplayEngine<'a> {
         let kernel_id = KernelId::new(k as u32);
         self.policy.before_kernel(k, &mut self.state);
 
+        // The kernel's working set, borrowed from the flattened arena.  The
+        // loops below index into it directly so the engine state can be
+        // mutated concurrently without cloning the list per kernel.
+        let (lo, hi) = (self.required_offsets[k], self.required_offsets[k + 1]);
+
         // Protect the working set of this kernel from eviction.
-        let required = self.required[k].clone();
-        for &t in &required {
+        for i in lo..hi {
+            let t = self.required_flat[i];
             self.state.protected[t.index()] = true;
         }
 
         // Make every required tensor resident (or allocated, for new
         // outputs), collecting the time at which the kernel may start.
         let mut ready = self.state.now;
-        for &t in &required {
+        for i in lo..hi {
+            let t = self.required_flat[i];
             let idx = t.index();
             self.state.settle(t);
             match self.state.tensors[idx].location {
@@ -632,16 +749,18 @@ impl<'a> ReplayEngine<'a> {
         self.state.now = end;
 
         // The kernel has consumed its inputs and produced its outputs.
-        for &t in &required {
+        for i in lo..hi {
+            let t = self.required_flat[i];
             self.state.settle(t);
             let idx = t.index();
-            self.state.tensors[idx].last_touch = k;
+            self.state.touch(idx, k);
             self.state.protected[idx] = false;
         }
         self.state.apply_pending(self.state.now);
 
         // Free intermediates that just died.
-        for &t in &required {
+        for i in lo..hi {
+            let t = self.required_flat[i];
             let idx = t.index();
             if !self.state.tensors[idx].is_global && self.state.tensors[idx].last_use == k {
                 self.release(t);

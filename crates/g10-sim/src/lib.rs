@@ -37,11 +37,13 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod naive;
 pub mod policies;
 pub mod policy;
 pub mod runner;
+pub mod victim;
 
-pub use engine::{Location, ReplayEngine};
+pub use engine::{Location, ReplayEngine, VictimSelection};
 pub use metrics::SimReport;
 pub use policy::MemoryPolicy;
 pub use runner::{run_experiment, PolicyKind};

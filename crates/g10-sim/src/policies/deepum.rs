@@ -14,15 +14,24 @@ use crate::engine::{EngineState, Location};
 use crate::policy::{lru_victim, MemoryPolicy};
 use g10_dnn::graph::DnnGraph;
 use g10_dnn::tensor::TensorId;
-use std::collections::HashSet;
 
 /// Default number of upcoming kernels whose working sets are prefetched.
 pub const DEFAULT_LOOKAHEAD: usize = 4;
 
 /// The DeepUM+ baseline.
+///
+/// The per-kernel working sets are deduplicated once at construction (with
+/// an epoch-stamped scratch array, not a per-kernel hash set) and flattened
+/// into one arena; the correlation prefetcher's look-ahead window is then a
+/// *sliding contiguous slice* of that arena.  Advancing from kernel `k` to
+/// `k + 1` reuses the overlap of the two windows — only the window's two
+/// arena bounds move, nothing is rebuilt or allocated per kernel.
 #[derive(Debug, Clone)]
 pub struct DeepUmPolicy {
-    required: Vec<Vec<TensorId>>,
+    /// Per-kernel unique working sets, flattened; kernel `k` owns
+    /// `required_flat[required_offsets[k]..required_offsets[k + 1]]`.
+    required_flat: Vec<TensorId>,
+    required_offsets: Vec<usize>,
     lookahead: usize,
 }
 
@@ -35,16 +44,10 @@ impl DeepUmPolicy {
 
     /// Creates the policy with an explicit look-ahead window (in kernels).
     pub fn with_lookahead(graph: &DnnGraph, lookahead: usize) -> Self {
-        let required = graph
-            .kernels()
-            .iter()
-            .map(|k| {
-                let mut seen = HashSet::new();
-                k.tensors().filter(|t| seen.insert(*t)).collect()
-            })
-            .collect();
+        let (required_flat, required_offsets) = crate::engine::flatten_working_sets(graph);
         DeepUmPolicy {
-            required,
+            required_flat,
+            required_offsets,
             lookahead: lookahead.max(1),
         }
     }
@@ -52,6 +55,11 @@ impl DeepUmPolicy {
     /// The look-ahead window in kernels.
     pub fn lookahead(&self) -> usize {
         self.lookahead
+    }
+
+    /// Number of kernels the policy tracks.
+    fn num_kernels(&self) -> usize {
+        self.required_offsets.len() - 1
     }
 }
 
@@ -61,17 +69,21 @@ impl MemoryPolicy for DeepUmPolicy {
     }
 
     fn before_kernel(&mut self, kernel: usize, state: &mut EngineState) {
-        let end = (kernel + 1 + self.lookahead).min(self.required.len());
-        for upcoming in kernel + 1..end {
-            for idx in 0..self.required[upcoming].len() {
-                let tensor = self.required[upcoming][idx];
-                if state.is_resident_or_inbound(tensor)
-                    || state.location(tensor) == Location::Unallocated
-                {
-                    continue;
-                }
-                state.request_prefetch_evicting(tensor, lru_victim);
+        // The look-ahead window over kernels `kernel + 1 .. end` is one
+        // contiguous arena slice; consecutive kernels share its overlap.
+        let end = (kernel + 1 + self.lookahead).min(self.num_kernels());
+        if kernel + 1 >= end {
+            return;
+        }
+        let window = self.required_offsets[kernel + 1]..self.required_offsets[end];
+        for idx in window {
+            let tensor = self.required_flat[idx];
+            if state.is_resident_or_inbound(tensor)
+                || state.location(tensor) == Location::Unallocated
+            {
+                continue;
             }
+            state.request_prefetch_evicting(tensor, lru_victim);
         }
     }
 
@@ -97,7 +109,10 @@ mod tests {
     fn required_sets_cover_every_kernel() {
         let graph = build_model(ModelKind::TinyCnn, 4);
         let p = DeepUmPolicy::new(&graph);
-        assert_eq!(p.required.len(), graph.num_kernels());
-        assert!(p.required.iter().all(|r| !r.is_empty()));
+        assert_eq!(p.num_kernels(), graph.num_kernels());
+        // Every kernel's arena slice is non-empty (offsets strictly
+        // increase) and the arena is exactly covered.
+        assert!(p.required_offsets.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*p.required_offsets.last().unwrap(), p.required_flat.len());
     }
 }

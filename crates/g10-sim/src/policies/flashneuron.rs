@@ -17,7 +17,6 @@ use g10_dnn::graph::DnnGraph;
 use g10_dnn::tensor::{TensorId, TensorKind};
 use g10_dnn::trace::KernelTrace;
 use g10_time::Nanos;
-use std::collections::HashSet;
 
 /// Fraction of GPU memory FlashNeuron budgets for resident data; the rest is
 /// head-room for the tensors of the currently executing kernels.
@@ -43,8 +42,12 @@ impl FlashNeuronPolicy {
 
         // Linear tensor selection: walk activation tensors in the order they
         // are produced and offload them until the projected peak fits the
-        // budget.  Weights and gradients are never offloaded.
-        let mut selected: HashSet<TensorId> = HashSet::new();
+        // budget.  Weights and gradients are never offloaded.  The offload
+        // set keeps that deterministic first-use order (each lifetime names
+        // a distinct tensor): iterating a hash set here made the planned
+        // eviction/prefetch instruction order — and therefore the replayed
+        // migration interleaving — vary run to run.
+        let mut selected: Vec<TensorId> = Vec::new();
         let mut projected = peak;
         let mut candidates: Vec<_> = analysis
             .lifetimes()
@@ -67,7 +70,7 @@ impl FlashNeuronPolicy {
             if !has_period {
                 continue;
             }
-            selected.insert(lifetime.tensor);
+            selected.push(lifetime.tensor);
             projected = projected.saturating_sub(lifetime.bytes);
         }
 
@@ -113,8 +116,7 @@ impl MemoryPolicy for FlashNeuronPolicy {
     }
 
     fn before_kernel(&mut self, kernel: usize, state: &mut EngineState) {
-        for idx in 0..self.prefetch_before[kernel].len() {
-            let tensor = self.prefetch_before[kernel][idx];
+        for &tensor in &self.prefetch_before[kernel] {
             if state.is_resident_or_inbound(tensor)
                 || state.location(tensor) == Location::Unallocated
             {
@@ -125,8 +127,7 @@ impl MemoryPolicy for FlashNeuronPolicy {
     }
 
     fn after_kernel(&mut self, kernel: usize, state: &mut EngineState) {
-        for idx in 0..self.evict_after[kernel].len() {
-            let tensor = self.evict_after[kernel][idx];
+        for &tensor in &self.evict_after[kernel] {
             if state.location(tensor) == Location::Gpu {
                 state.request_evict(tensor, Location::Ssd);
             }

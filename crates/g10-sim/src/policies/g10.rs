@@ -71,9 +71,10 @@ impl MemoryPolicy for G10Policy {
         if kernel >= self.plan.len() {
             return;
         }
-        let instructions = self.plan.at(KernelId::new(kernel as u32)).before.clone();
-        for instruction in instructions {
-            if let Instruction::Prefetch { tensor, .. } = instruction {
+        // Borrowed slice: `state` is disjoint from `self.plan`, so the
+        // instruction stream does not need to be cloned per kernel.
+        for instruction in self.plan.before(KernelId::new(kernel as u32)) {
+            if let Instruction::Prefetch { tensor, .. } = *instruction {
                 if state.is_resident_or_inbound(tensor)
                     || state.location(tensor) == Location::Unallocated
                 {
@@ -88,13 +89,12 @@ impl MemoryPolicy for G10Policy {
         if kernel >= self.plan.len() {
             return;
         }
-        let instructions = self.plan.at(KernelId::new(kernel as u32)).after.clone();
-        for instruction in instructions {
+        for instruction in self.plan.after(KernelId::new(kernel as u32)) {
             if let Instruction::PreEvict {
                 tensor,
                 destination,
                 ..
-            } = instruction
+            } = *instruction
             {
                 if state.location(tensor) != Location::Gpu {
                     continue;

@@ -52,11 +52,13 @@ pub trait MemoryPolicy {
 
 /// Least-recently-used victim selection with host-then-SSD placement: the
 /// shared default used by Base UVM, DeepUM+ and as G10's fallback.
+///
+/// Selection goes through [`EngineState::lru_victim_candidate`]: O(log R)
+/// against the incremental victim index by default, or the reference linear
+/// scan when the engine runs with
+/// [`VictimSelection::NaiveScan`](crate::engine::VictimSelection).
 pub fn lru_victim(state: &EngineState) -> Option<(TensorId, Location)> {
-    let victim = state
-        .evictable_tensors()
-        .min_by_key(|&(_, last_touch, _)| last_touch)
-        .map(|(id, _, _)| id)?;
+    let victim = state.lru_victim_candidate()?;
     let bytes = state.bytes_of(victim);
     let destination = if state.host_free_bytes() >= bytes {
         Location::Host
@@ -68,11 +70,13 @@ pub fn lru_victim(state: &EngineState) -> Option<(TensorId, Location)> {
 
 /// Largest-resident victim selection with SSD-only placement, used by
 /// FlashNeuron's explicit memory manager.
+///
+/// Selection goes through [`EngineState::largest_victim_candidate`] (see
+/// [`lru_victim`] for the indexed/naive dispatch).
 pub fn largest_victim_to_ssd(state: &EngineState) -> Option<(TensorId, Location)> {
     state
-        .evictable_tensors()
-        .max_by_key(|&(_, _, bytes)| bytes)
-        .map(|(id, _, _)| (id, Location::Ssd))
+        .largest_victim_candidate()
+        .map(|id| (id, Location::Ssd))
 }
 
 #[cfg(test)]

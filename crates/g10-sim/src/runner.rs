@@ -8,10 +8,10 @@ use g10_core::config::SystemConfig;
 use g10_core::scheduler::{G10Scheduler, SchedulerVariant};
 use g10_dnn::cost::GpuCostModel;
 use g10_dnn::graph::DnnGraph;
+use g10_dnn::models::stress::StressGptConfig;
 use g10_dnn::models::{build_model, ModelKind};
 use g10_dnn::trace::KernelTrace;
 use g10_time::Nanos;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -141,6 +141,21 @@ impl Workload {
         }
     }
 
+    /// Builds the synthetic StressGPT workload at an explicit depth (the
+    /// replay/planner scaling studies size it via
+    /// [`StressGptConfig::with_target_kernels`]); profiled with the native
+    /// A100 roofline like the other uncalibrated models.
+    pub fn stress(batch: u64, cfg: &StressGptConfig) -> Self {
+        let graph = g10_dnn::models::stress::build(batch, cfg);
+        let trace = KernelTrace::profile(&graph, &GpuCostModel::a100());
+        Workload {
+            model: ModelKind::StressGpt,
+            batch,
+            graph,
+            trace,
+        }
+    }
+
     /// Total memory consumption of the workload relative to the GPU capacity
     /// (the "M" annotation of Figure 11).
     pub fn memory_ratio(&self, config: &SystemConfig) -> f64 {
@@ -162,7 +177,28 @@ pub fn run_policy_with_planning_trace(
     config: &SystemConfig,
     planning_trace: &KernelTrace,
 ) -> SimReport {
-    let mut options = RuntimeOptions::default();
+    run_policy_with_options(
+        workload,
+        policy,
+        config,
+        planning_trace,
+        RuntimeOptions::default(),
+    )
+}
+
+/// Like [`run_policy_with_planning_trace`], but starting from caller-chosen
+/// [`RuntimeOptions`] (e.g. [`crate::engine::VictimSelection::NaiveScan`]
+/// for the reference-engine runs of `bench_replay` and the replay-scaling
+/// tests).  The policy-specific fields (GPU capacity override for Ideal,
+/// classic-UVM software overhead for the G10 ablations) are applied on top.
+pub fn run_policy_with_options(
+    workload: &Workload,
+    policy: PolicyKind,
+    config: &SystemConfig,
+    planning_trace: &KernelTrace,
+    options: RuntimeOptions,
+) -> SimReport {
+    let mut options = options;
     let boxed: Box<dyn MemoryPolicy> = match policy {
         PolicyKind::Ideal => {
             options.gpu_capacity_override = Some(u64::MAX / 4);
@@ -203,6 +239,12 @@ pub fn run_experiment(
 /// Runs `f` over `items` on multiple threads, preserving input order.
 /// Used by the experiment harness to sweep models / batch sizes / hardware
 /// configurations in parallel.
+///
+/// Workers claim items dynamically off a shared atomic counter (so skewed
+/// sweeps — e.g. batch grids in increasing-cost order — stay balanced), but
+/// every result gets its own slot lock: each mutex is taken exactly once,
+/// by the worker that computed that item, so there is no shared lock for
+/// the sweep to serialise on.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Sync,
@@ -217,7 +259,8 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -227,14 +270,17 @@ where
                     break;
                 }
                 let result = f(&items[idx]);
-                results.lock()[idx] = Some(result);
+                *results[idx].lock().expect("result slot lock") = Some(result);
             });
         }
     });
     results
-        .into_inner()
         .into_iter()
-        .map(|r| r.expect("every item processed"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every item processed")
+        })
         .collect()
 }
 

@@ -1,0 +1,150 @@
+//! Incrementally-maintained eviction-victim index.
+//!
+//! The replay engine's victim selection used to be a full scan over
+//! [`crate::engine::EngineState::evictable_tensors`] per eviction — O(R) in
+//! the number of GPU-resident tensors, and quadratic over a replay that
+//! evicts continuously.  [`VictimIndex`] replaces the scan with two ordered
+//! sets over the evictable residents, keyed so that their extremal elements
+//! are *exactly* the tensors the linear scans would have picked:
+//!
+//! * `by_recency`, keyed by `(last_touch, tensor_id)`: the linear LRU scan
+//!   (`min_by_key` over id-ordered iteration) returns the first tensor with
+//!   the minimal `last_touch`, i.e. the lexicographic minimum of
+//!   `(last_touch, tensor_id)` — the first element of this set.
+//! * `by_size`, keyed by `(bytes, tensor_id)`: FlashNeuron's largest-victim
+//!   scan (`max_by_key` over id-ordered iteration) returns the *last* tensor
+//!   with the maximal size, i.e. the lexicographic maximum of
+//!   `(bytes, tensor_id)` — the last element of this set.
+//!
+//! Membership mirrors the engine's GPU resident set (tensors resident and
+//! not in flight); the per-kernel *protected* working set stays in the index
+//! and is skipped at query time instead, so protection changes cost nothing.
+//! A query therefore walks at most `protected + 1` entries from the extremal
+//! end — O(log R + P) with P bounded by one kernel's working-set size —
+//! while insert / remove / touch are O(log R).
+//!
+//! The pre-index linear scans live on in [`crate::naive`] as the
+//! property-tested reference (`crates/g10-sim/tests/victim_props.rs` pins
+//! the two against each other on randomized touch/evict sequences).
+
+use std::collections::BTreeSet;
+
+/// Ordered index over evictable GPU-resident tensors.
+#[derive(Debug, Clone, Default)]
+pub struct VictimIndex {
+    /// Evictable residents keyed by `(last_touch, tensor_id)`.
+    by_recency: BTreeSet<(usize, u32)>,
+    /// Evictable residents keyed by `(bytes, tensor_id)`.
+    by_size: BTreeSet<(u64, u32)>,
+}
+
+impl VictimIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        VictimIndex::default()
+    }
+
+    /// Adds a tensor that just became an evictable resident.
+    pub fn insert(&mut self, idx: u32, last_touch: usize, bytes: u64) {
+        self.by_recency.insert((last_touch, idx));
+        self.by_size.insert((bytes, idx));
+    }
+
+    /// Removes a tensor that is no longer an evictable resident.  The caller
+    /// passes the same `last_touch` / `bytes` the tensor was inserted with
+    /// (the engine's tensor table is the source of truth for both).
+    pub fn remove(&mut self, idx: u32, last_touch: usize, bytes: u64) {
+        self.by_recency.remove(&(last_touch, idx));
+        self.by_size.remove(&(bytes, idx));
+    }
+
+    /// Re-keys a tensor after its `last_touch` changed.  A no-op for tensors
+    /// not currently in the index (size keys are unaffected: tensor sizes
+    /// are immutable).
+    pub fn touch(&mut self, idx: u32, old_last_touch: usize, new_last_touch: usize) {
+        if self.by_recency.remove(&(old_last_touch, idx)) {
+            self.by_recency.insert((new_last_touch, idx));
+        }
+    }
+
+    /// The least-recently-used unprotected resident: minimal
+    /// `(last_touch, tensor_id)`, skipping protected entries.
+    pub fn lru(&self, is_protected: impl Fn(u32) -> bool) -> Option<u32> {
+        self.by_recency
+            .iter()
+            .map(|&(_, idx)| idx)
+            .find(|&idx| !is_protected(idx))
+    }
+
+    /// The largest unprotected resident: maximal `(bytes, tensor_id)`,
+    /// skipping protected entries.
+    pub fn largest(&self, is_protected: impl Fn(u32) -> bool) -> Option<u32> {
+        self.by_size
+            .iter()
+            .rev()
+            .map(|&(_, idx)| idx)
+            .find(|&idx| !is_protected(idx))
+    }
+
+    /// Number of evictable residents in the index.
+    pub fn len(&self) -> usize {
+        self.by_recency.len()
+    }
+
+    /// Returns `true` if no evictable residents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.by_recency.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_breaks_ties_by_smallest_id() {
+        let mut index = VictimIndex::new();
+        index.insert(5, 3, 100);
+        index.insert(2, 3, 100);
+        index.insert(9, 7, 100);
+        assert_eq!(index.lru(|_| false), Some(2));
+        index.remove(2, 3, 100);
+        assert_eq!(index.lru(|_| false), Some(5));
+        assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn largest_breaks_ties_by_largest_id() {
+        let mut index = VictimIndex::new();
+        index.insert(5, 0, 100);
+        index.insert(2, 0, 100);
+        index.insert(9, 0, 50);
+        assert_eq!(index.largest(|_| false), Some(5));
+        index.remove(5, 0, 100);
+        assert_eq!(index.largest(|_| false), Some(2));
+    }
+
+    #[test]
+    fn touch_rekeys_only_present_tensors() {
+        let mut index = VictimIndex::new();
+        index.insert(1, 0, 10);
+        index.insert(2, 0, 20);
+        index.touch(1, 0, 5);
+        assert_eq!(index.lru(|_| false), Some(2));
+        // Touching an absent tensor must not resurrect it.
+        index.touch(7, 0, 5);
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.lru(|idx| idx == 2), Some(1));
+    }
+
+    #[test]
+    fn protected_entries_are_skipped_not_removed() {
+        let mut index = VictimIndex::new();
+        index.insert(1, 0, 10);
+        index.insert(2, 1, 30);
+        assert_eq!(index.lru(|idx| idx == 1), Some(2));
+        assert_eq!(index.largest(|idx| idx == 2), Some(1));
+        assert_eq!(index.lru(|_| true), None);
+        assert_eq!(index.largest(|_| true), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests: the incremental victim index
+//! ([`g10_sim::victim::VictimIndex`]) must agree with the linear-scan
+//! reference semantics of [`g10_sim::naive`] on random residency /
+//! touch / eviction / protection sequences.
+//!
+//! The model mirrors the engine exactly: each tensor has an immutable size,
+//! a mutable `last_touch`, GPU residency, and a protection flag.  The
+//! reference selections replicate the id-ordered linear scans —
+//! `min_by_key` keeps the *first* minimum (LRU) and `max_by_key` keeps the
+//! *last* maximum (largest victim) — which is precisely the tie-breaking
+//! the index's `(last_touch, id)` / `(bytes, id)` keys encode.
+
+use g10_sim::victim::VictimIndex;
+use proptest::prelude::*;
+
+#[derive(Clone, Copy)]
+struct Slot {
+    resident: bool,
+    protected: bool,
+    last_touch: usize,
+    bytes: u64,
+}
+
+/// Reference LRU: first evictable resident with minimal `last_touch`, in
+/// tensor-id order (the `evictable_tensors().min_by_key(..)` scan).
+fn scan_lru(slots: &[Slot]) -> Option<u32> {
+    slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.resident && !s.protected)
+        .min_by_key(|(_, s)| s.last_touch)
+        .map(|(i, _)| i as u32)
+}
+
+/// Reference largest victim: last evictable resident with maximal size, in
+/// tensor-id order (the `evictable_tensors().max_by_key(..)` scan).
+fn scan_largest(slots: &[Slot]) -> Option<u32> {
+    slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.resident && !s.protected)
+        .max_by_key(|(_, s)| s.bytes)
+        .map(|(i, _)| i as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn index_matches_linear_scans_on_random_sequences(
+        // Few distinct sizes / touch stamps, so ties are common and the
+        // tie-breaking rules are actually exercised.
+        sizes in proptest::collection::vec(1u64..8, 2..24),
+        ops in proptest::collection::vec((0u8..4, 0usize..24, 0usize..6), 1..200),
+    ) {
+        let n = sizes.len();
+        let mut slots: Vec<Slot> = sizes
+            .iter()
+            .map(|&bytes| Slot { resident: false, protected: false, last_touch: 0, bytes })
+            .collect();
+        let mut index = VictimIndex::new();
+
+        for (op, raw_idx, stamp) in ops {
+            let idx = raw_idx % n;
+            let slot = &mut slots[idx];
+            match op {
+                // A tensor arrives in GPU memory (prefetch/birth settles).
+                0 => {
+                    if !slot.resident {
+                        slot.resident = true;
+                        index.insert(idx as u32, slot.last_touch, slot.bytes);
+                    }
+                }
+                // A tensor leaves GPU memory (eviction/free).
+                1 => {
+                    if slot.resident {
+                        slot.resident = false;
+                        index.remove(idx as u32, slot.last_touch, slot.bytes);
+                    }
+                }
+                // A kernel used the tensor: last_touch moves, index re-keys
+                // only if the tensor is currently an evictable resident.
+                2 => {
+                    let old = slot.last_touch;
+                    if old != stamp {
+                        slot.last_touch = stamp;
+                        index.touch(idx as u32, old, stamp);
+                    }
+                }
+                // The working-set protection flag flips: a query-time
+                // filter, invisible to the index structure.
+                _ => slot.protected = !slot.protected,
+            }
+
+            let resident = slots.iter().filter(|s| s.resident).count();
+            prop_assert_eq!(index.len(), resident);
+            prop_assert_eq!(index.is_empty(), resident == 0);
+            prop_assert_eq!(
+                index.lru(|i| slots[i as usize].protected),
+                scan_lru(&slots),
+                "LRU selection diverged from the linear scan"
+            );
+            prop_assert_eq!(
+                index.largest(|i| slots[i as usize].protected),
+                scan_largest(&slots),
+                "largest-victim selection diverged from the linear scan"
+            );
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Replay-engine scaling tests on the synthetic deep-GPT stress workload.
+//!
+//! The fast test checks that the indexed engine (incremental victim index,
+//! ordered pending-free ledger) and the naive reference path (linear-scan
+//! victim selection) produce *identical* `SimReport`s on a mid-size stress
+//! replay across every eviction-heavy design.  The `#[ignore]`d test (run
+//! by the scheduled full-size CI job with `--release --ignored`)
+//! additionally measures wall time at ≥ 10k kernels under memory-constrained
+//! Base UVM and DeepUM+ and asserts the ≥ 5× speedup the refactor was sized
+//! for.
+
+use g10::core::config::SystemConfig;
+use g10::core::vitality::VitalityAnalysis;
+use g10::dnn::models::stress::StressGptConfig;
+use g10::sim::engine::RuntimeOptions;
+use g10::sim::runner::{run_policy_with_options, PolicyKind, Workload};
+use g10::sim::{SimReport, VictimSelection};
+use std::time::Instant;
+
+/// Batch 2 keeps individual activations small, so the constrained GPU holds
+/// *many* resident tensors — the regime where the naive per-victim scan is
+/// most expensive relative to the shared fault/transfer modelling.
+fn stress_workload(target_kernels: usize) -> Workload {
+    Workload::stress(2, &StressGptConfig::with_target_kernels(target_kernels))
+}
+
+/// Half the peak live bytes: deep oversubscription, so the replay faults and
+/// evicts continuously — the regime where victim selection dominates.
+fn constrained_config(workload: &Workload) -> SystemConfig {
+    let analysis = VitalityAnalysis::analyze(&workload.graph, &workload.trace);
+    SystemConfig::table2().with_gpu_memory(analysis.peak_live_bytes() / 2)
+}
+
+fn replay(
+    workload: &Workload,
+    policy: PolicyKind,
+    config: &SystemConfig,
+    selection: VictimSelection,
+) -> SimReport {
+    run_policy_with_options(
+        workload,
+        policy,
+        config,
+        &workload.trace,
+        RuntimeOptions {
+            victim_selection: selection,
+            ..RuntimeOptions::default()
+        },
+    )
+}
+
+#[test]
+fn naive_and_indexed_replays_agree_at_mid_scale() {
+    let workload = stress_workload(700);
+    let config = constrained_config(&workload);
+    for policy in [
+        PolicyKind::BaseUvm,
+        PolicyKind::DeepUmPlus,
+        PolicyKind::FlashNeuron,
+        PolicyKind::G10Full,
+    ] {
+        let indexed = replay(&workload, policy, &config, VictimSelection::Indexed);
+        let naive = replay(&workload, policy, &config, VictimSelection::NaiveScan);
+        assert_eq!(indexed, naive, "{policy}: engine paths diverged");
+        assert!(
+            indexed.evictions_issued > 0,
+            "{policy}: stress case must force evictions"
+        );
+    }
+}
+
+#[test]
+#[ignore = "10k-kernel replay; run with --release --ignored"]
+fn indexed_replay_is_5x_faster_at_10k_kernels() {
+    let workload = stress_workload(10_000);
+    let kernels = workload.graph.num_kernels();
+    assert!(kernels >= 9_500, "stress graph came up short: {kernels}");
+    let config = constrained_config(&workload);
+
+    for policy in [PolicyKind::BaseUvm, PolicyKind::DeepUmPlus] {
+        // Equality first (also warms both code paths).
+        let report = replay(&workload, policy, &config, VictimSelection::Indexed);
+        let naive = replay(&workload, policy, &config, VictimSelection::NaiveScan);
+        assert_eq!(report, naive, "{policy}: engine paths diverged");
+
+        // Min of three runs per path: the minimum is the least noisy
+        // estimate of what the code actually costs.
+        let timed_min = |selection: VictimSelection| {
+            (0..3)
+                .map(|_| {
+                    let start = Instant::now();
+                    let _ = replay(&workload, policy, &config, selection);
+                    start.elapsed()
+                })
+                .min()
+                .expect("three timed runs")
+        };
+        let indexed_time = timed_min(VictimSelection::Indexed);
+        let naive_time = timed_min(VictimSelection::NaiveScan);
+
+        let speedup = naive_time.as_secs_f64() / indexed_time.as_secs_f64().max(1e-9);
+        eprintln!(
+            "replay at {} kernels under {} ({} evictions, {} faults): \
+             naive {:.1} ms, indexed {:.1} ms, speedup {:.1}x",
+            kernels,
+            policy,
+            report.evictions_issued,
+            report.fault_count,
+            naive_time.as_secs_f64() * 1e3,
+            indexed_time.as_secs_f64() * 1e3,
+            speedup
+        );
+        assert!(
+            speedup >= 5.0,
+            "expected >= 5x replay speedup at 10k kernels under {policy}, measured {speedup:.1}x"
+        );
+    }
+}
