@@ -1,0 +1,105 @@
+//! Criterion bench: workload build + analysis — the naive per-consumer
+//! derivations vs the shared `GraphIndex`, head-to-head on the synthetic
+//! deep GPT stress workload and on BERT's Figure-11 cell.
+//!
+//! "Analyze" reproduces everything one seven-policy experiment cell derives
+//! from the dataflow graph before any replay starts (see
+//! `g10_bench::workload_pipeline`): the Figure-2 memory curves, the
+//! Figure-3/4 inactive periods, one vitality analysis per planning policy,
+//! the lifetime and working-set preparation of all seven replay engines,
+//! and the max-working-set check.  The naive side re-derives the
+//! tensor→use-site adjacency per consumer with the retained reference
+//! (`DnnGraph::tensor_use_sites`); the indexed side reads the CSR adjacency
+//! built once at `GraphBuilder::finish`.
+//!
+//! The printed `workload_speedup` lines summarise the build+analyze ratio.
+//! Set `G10_BENCH_SMOKE=1` for a reduced stress size (used by the scheduled
+//! CI job).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use g10_bench::workload_pipeline::{
+    build_workload, indexed_analysis_fingerprint, naive_analysis_fingerprint, WorkloadCase,
+};
+use g10_dnn::models::ModelKind;
+use std::time::Instant;
+
+fn cases(smoke: bool) -> Vec<WorkloadCase> {
+    let mut cases = vec![WorkloadCase::stress(if smoke { 2_000 } else { 10_000 })];
+    if !smoke {
+        cases.push(WorkloadCase::model(
+            ModelKind::Bert,
+            ModelKind::Bert.eval_batch(),
+        ));
+    }
+    cases
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let smoke = std::env::var("G10_BENCH_SMOKE").is_ok();
+    let cases = cases(smoke);
+
+    let mut group = c.benchmark_group("workload_indexed");
+    group.sample_size(if smoke { 3 } else { 10 });
+    for case in &cases {
+        group.bench_function(&case.label, |b| {
+            b.iter(|| {
+                let (graph, trace) = build_workload(case);
+                black_box(indexed_analysis_fingerprint(&graph, &trace))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("workload_naive");
+    group.sample_size(if smoke { 3 } else { 5 });
+    for case in &cases {
+        group.bench_function(&case.label, |b| {
+            b.iter(|| {
+                let (graph, trace) = build_workload(case);
+                black_box(naive_analysis_fingerprint(&graph, &trace))
+            })
+        });
+    }
+    group.finish();
+
+    // One timed head-to-head per case so the ratio is printed directly,
+    // with the two derivation families' results pinned equal on the way.
+    for case in &cases {
+        let (graph, trace) = build_workload(case);
+        assert_eq!(
+            indexed_analysis_fingerprint(&graph, &trace),
+            naive_analysis_fingerprint(&graph, &trace),
+            "indexed and naive workload analyses diverged"
+        );
+        let min_of = |indexed: bool| {
+            (0..3)
+                .map(|_| {
+                    let start = Instant::now();
+                    let (graph, trace) = build_workload(case);
+                    if indexed {
+                        black_box(indexed_analysis_fingerprint(&graph, &trace));
+                    } else {
+                        black_box(naive_analysis_fingerprint(&graph, &trace));
+                    }
+                    start.elapsed()
+                })
+                .min()
+                .expect("three timed runs")
+        };
+        let indexed_time = min_of(true);
+        let naive_time = min_of(false);
+        println!(
+            "bench workload_speedup/{}: naive {:>9.3} ms, indexed {:>8.3} ms, speedup {:>5.1}x \
+             ({} kernels, {} tensors)",
+            case.label,
+            naive_time.as_secs_f64() * 1e3,
+            indexed_time.as_secs_f64() * 1e3,
+            naive_time.as_secs_f64() / indexed_time.as_secs_f64().max(1e-12),
+            graph.num_kernels(),
+            graph.num_tensors(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

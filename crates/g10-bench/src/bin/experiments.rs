@@ -9,12 +9,16 @@
 //! ```
 //!
 //! Each command prints the rows the paper reports and writes a CSV file into
-//! the output directory (default `results/`).
+//! the output directory (default `results/`).  The `all` run additionally
+//! prints per-figure wall time and the simulation-cell dedup count (cells
+//! repeated across figures are replayed once and served from the run
+//! cache), so grid speedups stay visible run to run.
 
-use g10_bench::experiments::{self, EndToEndRuns};
+use g10_bench::experiments::{self, run_cache_stats, EndToEndRuns};
 use g10_bench::output::{write_csv, Table};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn emit(table: &Table, out_dir: &Path, name: &str) {
     println!("{}", table.render());
@@ -29,10 +33,15 @@ fn emit_all(tables: &[Table], out_dir: &Path, prefix: &str) {
     }
 }
 
-fn end_to_end(out_dir: &Path) -> EndToEndRuns {
-    let data = EndToEndRuns::collect();
-    let _ = out_dir;
-    data
+/// Runs one figure driver, printing its wall time (the `all` command uses
+/// this so per-figure grid speedups are visible run to run).
+fn figure(label: &str, f: impl FnOnce()) {
+    let started = Instant::now();
+    f();
+    println!(
+        "[experiments] {label} took {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }
 
 fn run(command: &str, out_dir: &Path) -> Result<(), String> {
@@ -43,7 +52,7 @@ fn run(command: &str, out_dir: &Path) -> Result<(), String> {
         "fig3" => emit(&experiments::fig3(), out_dir, "fig3"),
         "fig4" => emit_all(&experiments::fig4(), out_dir, "fig4"),
         "fig11" | "fig12" | "fig13" | "fig14" | "lifetime" => {
-            let data = end_to_end(out_dir);
+            let data = EndToEndRuns::collect();
             match command {
                 "fig11" => emit(&experiments::fig11(&data), out_dir, "fig11"),
                 "fig12" => emit(&experiments::fig12(&data), out_dir, "fig12"),
@@ -58,22 +67,45 @@ fn run(command: &str, out_dir: &Path) -> Result<(), String> {
         "fig18" => emit(&experiments::fig18(), out_dir, "fig18"),
         "fig19" => emit(&experiments::fig19(), out_dir, "fig19"),
         "all" => {
-            emit(&experiments::table1(), out_dir, "table1");
-            emit(&experiments::table2(), out_dir, "table2");
-            emit_all(&experiments::fig2(), out_dir, "fig2");
-            emit(&experiments::fig3(), out_dir, "fig3");
-            emit_all(&experiments::fig4(), out_dir, "fig4");
-            let data = end_to_end(out_dir);
-            emit(&experiments::fig11(&data), out_dir, "fig11");
-            emit(&experiments::fig12(&data), out_dir, "fig12");
-            emit(&experiments::fig13(&data), out_dir, "fig13");
-            emit(&experiments::fig14(&data), out_dir, "fig14");
-            emit(&experiments::lifetime(&data), out_dir, "lifetime");
-            emit(&experiments::fig15(), out_dir, "fig15");
-            emit(&experiments::fig16(), out_dir, "fig16");
-            emit(&experiments::fig17(), out_dir, "fig17");
-            emit(&experiments::fig18(), out_dir, "fig18");
-            emit(&experiments::fig19(), out_dir, "fig19");
+            figure("table1", || emit(&experiments::table1(), out_dir, "table1"));
+            figure("table2", || emit(&experiments::table2(), out_dir, "table2"));
+            figure("fig2", || emit_all(&experiments::fig2(), out_dir, "fig2"));
+            figure("fig3", || emit(&experiments::fig3(), out_dir, "fig3"));
+            figure("fig4", || emit_all(&experiments::fig4(), out_dir, "fig4"));
+            let data = {
+                let started = Instant::now();
+                let data = EndToEndRuns::collect();
+                println!(
+                    "[experiments] end-to-end runs took {:.1}s",
+                    started.elapsed().as_secs_f64()
+                );
+                data
+            };
+            figure("fig11", || {
+                emit(&experiments::fig11(&data), out_dir, "fig11")
+            });
+            figure("fig12", || {
+                emit(&experiments::fig12(&data), out_dir, "fig12")
+            });
+            figure("fig13", || {
+                emit(&experiments::fig13(&data), out_dir, "fig13")
+            });
+            figure("fig14", || {
+                emit(&experiments::fig14(&data), out_dir, "fig14")
+            });
+            figure("lifetime", || {
+                emit(&experiments::lifetime(&data), out_dir, "lifetime")
+            });
+            figure("fig15", || emit(&experiments::fig15(), out_dir, "fig15"));
+            figure("fig16", || emit(&experiments::fig16(), out_dir, "fig16"));
+            figure("fig17", || emit(&experiments::fig17(), out_dir, "fig17"));
+            figure("fig18", || emit(&experiments::fig18(), out_dir, "fig18"));
+            figure("fig19", || emit(&experiments::fig19(), out_dir, "fig19"));
+            let (replayed, cached) = run_cache_stats();
+            println!(
+                "[experiments] simulation cells: {replayed} replayed, \
+                 {cached} deduplicated (served from the run cache)"
+            );
         }
         other => return Err(format!("unknown command: {other}")),
     }

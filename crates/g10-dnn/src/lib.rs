@@ -13,6 +13,9 @@
 //! * [`op`] — operator descriptors with analytic FLOP and byte counts.
 //! * [`graph`] — the [`graph::DnnGraph`] dataflow graph: kernels in execution
 //!   order with their input/output tensor sets.
+//! * [`index`] — the shared [`index::GraphIndex`]: CSR tensor→use-site
+//!   adjacency, per-tensor lifetimes, per-kernel working sets and the
+//!   liveness curve, derived once per graph and cached.
 //! * [`builder`] — a layer-level builder that records a forward pass and
 //!   automatically derives the backward pass and optimizer step, mirroring
 //!   how a framework such as PyTorch materialises a training iteration.
@@ -43,6 +46,7 @@ pub mod builder;
 pub mod cost;
 pub mod error;
 pub mod graph;
+pub mod index;
 pub mod models;
 pub mod op;
 pub mod shape;
@@ -54,6 +58,7 @@ pub mod trace;
 pub use cost::GpuCostModel;
 pub use error::GraphError;
 pub use graph::{DnnGraph, Kernel, KernelId};
+pub use index::GraphIndex;
 pub use tensor::{TensorId, TensorInfo, TensorKind};
 pub use time::Nanos;
 pub use trace::KernelTrace;

@@ -18,7 +18,7 @@
 //! and inactive-period structure all grow linearly with
 //! `layers × grad_accum_steps`.
 
-use crate::builder::{Act, GraphBuilder};
+use crate::builder::{joined, Act, GraphBuilder};
 use crate::graph::DnnGraph;
 
 /// Hyper-parameters of the stress transformer.
@@ -97,7 +97,7 @@ pub fn build(batch: u64, cfg: &StressGptConfig) -> DnnGraph {
     for step in 0..cfg.grad_accum_steps {
         let prefix = format!("step{step}");
         let mut x = b.embedding(
-            &format!("{prefix}.embed"),
+            &joined(&prefix, ".embed"),
             cfg.seq_len,
             cfg.hidden,
             cfg.vocab,
@@ -105,11 +105,11 @@ pub fn build(batch: u64, cfg: &StressGptConfig) -> DnnGraph {
         for layer in 0..cfg.layers {
             x = decoder_layer(&mut b, &format!("{prefix}.layer{layer}"), &x, cfg);
         }
-        let xn = b.layer_norm(&format!("{prefix}.final_ln"), &x);
-        let logits = b.linear(&format!("{prefix}.head"), &xn, cfg.vocab);
+        let xn = b.layer_norm(&joined(&prefix, ".final_ln"), &x);
+        let logits = b.linear(&joined(&prefix, ".head"), &xn, cfg.vocab);
         combined = Some(match combined {
             None => logits,
-            Some(acc) => b.add_seq(&format!("{prefix}.combine"), &acc, &logits),
+            Some(acc) => b.add_seq(&joined(&prefix, ".combine"), &acc, &logits),
         });
     }
     let final_output = combined.expect("at least one micro-step");
@@ -118,20 +118,20 @@ pub fn build(batch: u64, cfg: &StressGptConfig) -> DnnGraph {
 
 fn decoder_layer(b: &mut GraphBuilder, name: &str, input: &Act, cfg: &StressGptConfig) -> Act {
     // Pre-norm GPT block.
-    let ln1 = b.layer_norm(&format!("{name}.ln1"), input);
-    let q = b.linear(&format!("{name}.attn.q"), &ln1, cfg.hidden);
-    let k = b.linear(&format!("{name}.attn.k"), &ln1, cfg.hidden);
-    let v = b.linear(&format!("{name}.attn.v"), &ln1, cfg.hidden);
-    let scores = b.attention_scores(&format!("{name}.attn.scores"), &q, &k, cfg.heads);
-    let probs = b.softmax(&format!("{name}.attn.softmax"), &scores);
-    let ctx = b.attention_context(&format!("{name}.attn.context"), &probs, &v, cfg.heads);
-    let proj = b.linear(&format!("{name}.attn.proj"), &ctx, cfg.hidden);
-    let res1 = b.add_seq(&format!("{name}.attn.residual"), &proj, input);
-    let ln2 = b.layer_norm(&format!("{name}.ln2"), &res1);
-    let fc1 = b.linear(&format!("{name}.ffn.fc1"), &ln2, cfg.ffn);
-    let act = b.gelu(&format!("{name}.ffn.gelu"), &fc1);
-    let fc2 = b.linear(&format!("{name}.ffn.fc2"), &act, cfg.hidden);
-    b.add_seq(&format!("{name}.ffn.residual"), &fc2, &res1)
+    let ln1 = b.layer_norm(&joined(name, ".ln1"), input);
+    let q = b.linear(&joined(name, ".attn.q"), &ln1, cfg.hidden);
+    let k = b.linear(&joined(name, ".attn.k"), &ln1, cfg.hidden);
+    let v = b.linear(&joined(name, ".attn.v"), &ln1, cfg.hidden);
+    let scores = b.attention_scores(&joined(name, ".attn.scores"), &q, &k, cfg.heads);
+    let probs = b.softmax(&joined(name, ".attn.softmax"), &scores);
+    let ctx = b.attention_context(&joined(name, ".attn.context"), &probs, &v, cfg.heads);
+    let proj = b.linear(&joined(name, ".attn.proj"), &ctx, cfg.hidden);
+    let res1 = b.add_seq(&joined(name, ".attn.residual"), &proj, input);
+    let ln2 = b.layer_norm(&joined(name, ".ln2"), &res1);
+    let fc1 = b.linear(&joined(name, ".ffn.fc1"), &ln2, cfg.ffn);
+    let act = b.gelu(&joined(name, ".ffn.gelu"), &fc1);
+    let fc2 = b.linear(&joined(name, ".ffn.fc2"), &act, cfg.hidden);
+    b.add_seq(&joined(name, ".ffn.residual"), &fc2, &res1)
 }
 
 #[cfg(test)]

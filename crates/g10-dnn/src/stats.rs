@@ -62,41 +62,16 @@ impl MemoryConsumption {
 }
 
 /// Computes the per-kernel active and live footprint of a graph (Figure 2).
+///
+/// Both curves are precomputed by the shared [`DnnGraph::index`]: the active
+/// bytes are the per-kernel deduplicated working-set sums and the live bytes
+/// are the no-eviction liveness curve, so this is two `Vec` copies rather
+/// than a fresh O(E) adjacency derivation.
 pub fn memory_consumption(graph: &DnnGraph) -> MemoryConsumption {
-    let n_kernels = graph.num_kernels();
-    let uses = graph.tensor_use_sites();
-
-    let mut active_bytes = vec![0u64; n_kernels];
-    let mut live_delta = vec![0i64; n_kernels + 1];
-
-    for tensor in graph.tensors() {
-        let sites = &uses[tensor.id().index()];
-        if sites.is_empty() {
-            continue;
-        }
-        let bytes = tensor.bytes() as i64;
-        let (birth, death) = if tensor.is_global() {
-            (0usize, n_kernels - 1)
-        } else {
-            (sites[0].index(), sites[sites.len() - 1].index())
-        };
-        live_delta[birth] += bytes;
-        live_delta[death + 1] -= bytes;
-        for site in sites {
-            active_bytes[site.index()] += tensor.bytes();
-        }
-    }
-
-    let mut live_bytes = Vec::with_capacity(n_kernels);
-    let mut running = 0i64;
-    for delta in live_delta.iter().take(n_kernels) {
-        running += delta;
-        live_bytes.push(running.max(0) as u64);
-    }
-
+    let index = graph.index();
     MemoryConsumption {
-        active_bytes,
-        live_bytes,
+        active_bytes: index.active_bytes().to_vec(),
+        live_bytes: index.live_bytes().to_vec(),
     }
 }
 
@@ -120,12 +95,12 @@ pub struct InactivePeriod {
 /// (Figures 3 and 4).  Global tensors also get their cross-iteration
 /// wrap-around period (last use of this iteration → first use of the next).
 pub fn inactive_periods(graph: &DnnGraph, trace: &KernelTrace) -> Vec<InactivePeriod> {
-    let uses = graph.tensor_use_sites();
-    let mut periods = Vec::new();
+    let index = graph.index();
+    let mut periods = Vec::with_capacity(index.total_use_sites());
     let total = trace.total_duration();
 
     for tensor in graph.tensors() {
-        let sites = &uses[tensor.id().index()];
+        let sites = index.use_sites(tensor.id());
         if sites.is_empty() {
             continue;
         }

@@ -1,0 +1,189 @@
+//! Property tests: the shared [`g10_dnn::index::GraphIndex`] must agree
+//! with the naive reference derivations on random graphs.
+//!
+//! The references are the pre-index implementations retained per repo
+//! convention: [`DnnGraph::tensor_use_sites`] (a fresh `HashSet` per kernel,
+//! a `Vec` per tensor), [`Kernel::uses`] (linear operand scan), a per-kernel
+//! `HashSet` working-set deduplication, and the liveness-delta sweep the
+//! characterisation module used before it was retargeted onto the index.
+
+use g10_dnn::graph::{DnnGraph, KernelId};
+use g10_dnn::op::{KernelClass, OpCost};
+use g10_dnn::tensor::{TensorId, TensorKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Assembles a random (not necessarily valid) graph: every tensor exists,
+/// but some may be unused and kernels may touch the same tensor repeatedly
+/// — exactly the shapes the index must handle without assuming builder
+/// output.
+fn assemble(sizes: &[u64], kernels: &[(Vec<usize>, Vec<usize>)]) -> DnnGraph {
+    let mut graph = DnnGraph::with_batch_size("random", 1);
+    let n = sizes.len();
+    for (i, &bytes) in sizes.iter().enumerate() {
+        let kind = match i % 5 {
+            0 => TensorKind::Weight,
+            1 => TensorKind::Activation,
+            2 => TensorKind::ActivationGradient,
+            3 => TensorKind::OptimizerState,
+            _ => TensorKind::Workspace,
+        };
+        graph.add_tensor(kind, bytes, format!("t{i}"));
+    }
+    for (k, (inputs, outputs)) in kernels.iter().enumerate() {
+        let inputs: Vec<TensorId> = inputs
+            .iter()
+            .map(|&i| TensorId::new((i % n) as u32))
+            .collect();
+        let outputs: Vec<TensorId> = outputs
+            .iter()
+            .map(|&i| TensorId::new((i % n) as u32))
+            .collect();
+        graph.add_kernel(
+            format!("k{k}"),
+            KernelClass::Elementwise,
+            OpCost::default(),
+            inputs,
+            outputs,
+        );
+    }
+    graph
+}
+
+/// The pre-refactor liveness sweep: globals live for the whole iteration,
+/// intermediates from first to last use, accumulated via deltas.
+fn naive_live_bytes(graph: &DnnGraph, uses: &[Vec<KernelId>]) -> Vec<u64> {
+    let n_kernels = graph.num_kernels();
+    let mut delta = vec![0i64; n_kernels + 1];
+    for tensor in graph.tensors() {
+        let sites = &uses[tensor.id().index()];
+        if sites.is_empty() {
+            continue;
+        }
+        let (birth, death) = if tensor.is_global() {
+            (0usize, n_kernels - 1)
+        } else {
+            (sites[0].index(), sites[sites.len() - 1].index())
+        };
+        delta[birth] += tensor.bytes() as i64;
+        delta[death + 1] -= tensor.bytes() as i64;
+    }
+    let mut live = Vec::with_capacity(n_kernels);
+    let mut running = 0i64;
+    for d in delta.iter().take(n_kernels) {
+        running += d;
+        live.push(running.max(0) as u64);
+    }
+    live
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn index_matches_naive_references_on_random_graphs(
+        sizes in proptest::collection::vec(1u64..100, 1..32),
+        kernels in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..64, 1..6),
+                proptest::collection::vec(0usize..64, 1..4),
+            ),
+            1..48,
+        ),
+    ) {
+        let graph = assemble(&sizes, &kernels);
+        let index = graph.index();
+        let naive = graph.tensor_use_sites();
+
+        prop_assert_eq!(index.num_tensors(), graph.num_tensors());
+        prop_assert_eq!(index.num_kernels(), graph.num_kernels());
+
+        // Tensor → use-site adjacency, lifetimes, membership queries.
+        for tensor in graph.tensors() {
+            let sites = index.use_sites(tensor.id());
+            prop_assert_eq!(sites, naive[tensor.id().index()].as_slice());
+            prop_assert_eq!(index.use_count(tensor.id()), sites.len());
+            prop_assert_eq!(index.first_use(tensor.id()), sites.first().copied());
+            prop_assert_eq!(index.last_use(tensor.id()), sites.last().copied());
+            for kernel in graph.kernels() {
+                prop_assert_eq!(
+                    index.kernel_uses(kernel.id(), tensor.id()),
+                    kernel.uses(tensor.id()),
+                    "membership diverged for kernel {} tensor {}",
+                    kernel.id(),
+                    tensor.id()
+                );
+            }
+        }
+
+        // Kernel → working sets: first-occurrence order, deduplicated bytes.
+        let mut max_ws = 0u64;
+        for kernel in graph.kernels() {
+            let mut seen = HashSet::new();
+            let mut reference = Vec::new();
+            let mut bytes = 0u64;
+            for t in kernel.tensors() {
+                if seen.insert(t) {
+                    reference.push(t);
+                    bytes += graph.tensor(t).bytes();
+                }
+            }
+            prop_assert_eq!(index.kernel_working_set(kernel.id()), reference.as_slice());
+            prop_assert_eq!(index.kernel_working_set_bytes(kernel.id()), bytes);
+            prop_assert_eq!(graph.kernel_working_set_bytes(kernel.id()), bytes);
+            max_ws = max_ws.max(bytes);
+        }
+        prop_assert_eq!(index.max_kernel_working_set_bytes(), max_ws);
+        prop_assert_eq!(graph.max_kernel_working_set_bytes(), max_ws);
+
+        // Liveness curve and cached footprint totals.
+        prop_assert_eq!(index.live_bytes(), naive_live_bytes(&graph, &naive).as_slice());
+        prop_assert_eq!(
+            index.total_tensor_bytes(),
+            graph.tensors().iter().map(|t| t.bytes()).sum::<u64>()
+        );
+        prop_assert_eq!(
+            index.global_tensor_bytes(),
+            graph
+                .tensors()
+                .iter()
+                .filter(|t| t.is_global())
+                .map(|t| t.bytes())
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn index_is_rebuilt_after_mutation(
+        sizes in proptest::collection::vec(1u64..50, 2..12),
+        kernels in proptest::collection::vec(
+            (
+                proptest::collection::vec(0usize..16, 1..4),
+                proptest::collection::vec(0usize..16, 1..3),
+            ),
+            1..8,
+        ),
+        extra in proptest::collection::vec(0usize..16, 1..4),
+    ) {
+        let mut graph = assemble(&sizes, &kernels);
+        // Materialise the index, then mutate: the next access must reflect
+        // the appended kernel, not the stale cache.
+        let kernels_before = graph.index().num_kernels();
+        let inputs: Vec<TensorId> = extra
+            .iter()
+            .map(|&i| TensorId::new((i % sizes.len()) as u32))
+            .collect();
+        let first = inputs[0];
+        graph.add_kernel(
+            "appended",
+            KernelClass::Elementwise,
+            OpCost::default(),
+            inputs,
+            vec![],
+        );
+        let index = graph.index();
+        prop_assert_eq!(index.num_kernels(), kernels_before + 1);
+        let appended = KernelId::new(kernels_before as u32);
+        prop_assert_eq!(index.use_sites(first).last().copied(), Some(appended));
+    }
+}

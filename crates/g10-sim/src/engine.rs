@@ -60,30 +60,6 @@ impl ResidentSet {
     }
 }
 
-/// Flattens each kernel's *unique* working set into one CSR-style arena:
-/// kernel `k`'s tensors are `flat[offsets[k]..offsets[k + 1]]`, in
-/// first-occurrence order.  Deduplication uses an epoch-stamped scratch
-/// array — one allocation for the whole trace, no per-kernel hash set.
-/// Shared by the replay engine and the DeepUM+ prefetcher so both agree on
-/// what a kernel's working set is.
-pub(crate) fn flatten_working_sets(graph: &DnnGraph) -> (Vec<TensorId>, Vec<usize>) {
-    let mut flat = Vec::new();
-    let mut offsets = Vec::with_capacity(graph.num_kernels() + 1);
-    offsets.push(0);
-    let mut seen_epoch = vec![u32::MAX; graph.num_tensors()];
-    for (k, kernel) in graph.kernels().iter().enumerate() {
-        for t in kernel.tensors() {
-            let stamp = &mut seen_epoch[t.index()];
-            if *stamp != k as u32 {
-                *stamp = k as u32;
-                flat.push(t);
-            }
-        }
-        offsets.push(flat.len());
-    }
-    (flat, offsets)
-}
-
 /// Where a tensor currently lives in the simulated system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Location {
@@ -525,13 +501,13 @@ pub struct ReplayEngine<'a> {
     trace: &'a KernelTrace,
     policy: Box<dyn MemoryPolicy>,
     state: EngineState,
-    /// Per-kernel unique working sets, flattened into one arena indexed by
-    /// `required_offsets` (kernel `k`'s tensors are
-    /// `required_flat[required_offsets[k]..required_offsets[k + 1]]`), so
-    /// the step loop borrows them as slices instead of cloning a `Vec` per
-    /// kernel.
-    required_flat: Vec<TensorId>,
-    required_offsets: Vec<usize>,
+    /// Per-kernel unique working sets, borrowed straight from the graph's
+    /// shared [`g10_dnn::index::GraphIndex`] CSR arena (kernel `k`'s tensors
+    /// are `required_flat[required_offsets[k]..required_offsets[k + 1]]`),
+    /// so constructing an engine derives nothing and the step loop borrows
+    /// slices instead of cloning a `Vec` per kernel.
+    required_flat: &'a [TensorId],
+    required_offsets: &'a [usize],
     kernel_slowdowns: Vec<f64>,
     stall_time: Nanos,
     working_set_exceeds_gpu: bool,
@@ -573,13 +549,13 @@ impl<'a> ReplayEngine<'a> {
         };
         let mut uvm = UnifiedMemory::new(uvm_config);
 
-        // Per-tensor runtime state and initial placement.
-        let uses = graph.tensor_use_sites();
+        // Per-tensor runtime state and initial placement; lifetimes come
+        // from the graph's shared index instead of a fresh adjacency pass.
+        let index = graph.index();
         let mut tensors = Vec::with_capacity(graph.num_tensors());
         for info in graph.tensors() {
-            let sites = &uses[info.id().index()];
-            let last_use = sites.last().map(|k| k.index()).unwrap_or(0);
-            let mut location = if sites.is_empty() {
+            let last_use = index.last_use(info.id()).map(|k| k.index()).unwrap_or(0);
+            let mut location = if index.use_count(info.id()) == 0 {
                 Location::Unallocated
             } else {
                 policy.initial_location(info)
@@ -612,17 +588,11 @@ impl<'a> ReplayEngine<'a> {
             });
         }
 
-        // Per-kernel unique working sets, flattened into one arena.
+        // Per-kernel unique working sets, borrowed from the index's arena.
         let num_tensors = graph.num_tensors();
         let num_kernels = graph.num_kernels();
-        let (required_flat, required_offsets) = flatten_working_sets(graph);
-        let working_set_exceeds_gpu = required_offsets.windows(2).any(|w| {
-            let ws: u64 = required_flat[w[0]..w[1]]
-                .iter()
-                .map(|&t| graph.tensor(t).bytes())
-                .sum();
-            ws > gpu_capacity
-        });
+        let (required_flat, required_offsets) = index.working_sets();
+        let working_set_exceeds_gpu = index.max_kernel_working_set_bytes() > gpu_capacity;
 
         let mut resident_gpu = ResidentSet::new(num_tensors);
         let mut victims = VictimIndex::new();

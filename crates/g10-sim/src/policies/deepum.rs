@@ -13,25 +13,26 @@
 use crate::engine::{EngineState, Location};
 use crate::policy::{lru_victim, MemoryPolicy};
 use g10_dnn::graph::DnnGraph;
-use g10_dnn::tensor::TensorId;
+use g10_dnn::index::GraphIndex;
+use std::sync::Arc;
 
 /// Default number of upcoming kernels whose working sets are prefetched.
 pub const DEFAULT_LOOKAHEAD: usize = 4;
 
 /// The DeepUM+ baseline.
 ///
-/// The per-kernel working sets are deduplicated once at construction (with
-/// an epoch-stamped scratch array, not a per-kernel hash set) and flattened
-/// into one arena; the correlation prefetcher's look-ahead window is then a
-/// *sliding contiguous slice* of that arena.  Advancing from kernel `k` to
-/// `k + 1` reuses the overlap of the two windows — only the window's two
-/// arena bounds move, nothing is rebuilt or allocated per kernel.
+/// The per-kernel working sets come from the graph's shared
+/// [`GraphIndex`] CSR arena (deduplicated once per graph with an
+/// epoch-stamped scratch array, not a per-kernel hash set); the correlation
+/// prefetcher's look-ahead window is then a *sliding contiguous slice* of
+/// that arena.  Advancing from kernel `k` to `k + 1` reuses the overlap of
+/// the two windows — only the window's two arena bounds move, nothing is
+/// rebuilt or allocated per kernel.
 #[derive(Debug, Clone)]
 pub struct DeepUmPolicy {
-    /// Per-kernel unique working sets, flattened; kernel `k` owns
-    /// `required_flat[required_offsets[k]..required_offsets[k + 1]]`.
-    required_flat: Vec<TensorId>,
-    required_offsets: Vec<usize>,
+    /// The shared per-graph analysis index holding the flattened working
+    /// sets: kernel `k` owns `flat[offsets[k]..offsets[k + 1]]`.
+    index: Arc<GraphIndex>,
     lookahead: usize,
 }
 
@@ -44,10 +45,8 @@ impl DeepUmPolicy {
 
     /// Creates the policy with an explicit look-ahead window (in kernels).
     pub fn with_lookahead(graph: &DnnGraph, lookahead: usize) -> Self {
-        let (required_flat, required_offsets) = crate::engine::flatten_working_sets(graph);
         DeepUmPolicy {
-            required_flat,
-            required_offsets,
+            index: graph.shared_index(),
             lookahead: lookahead.max(1),
         }
     }
@@ -59,7 +58,7 @@ impl DeepUmPolicy {
 
     /// Number of kernels the policy tracks.
     fn num_kernels(&self) -> usize {
-        self.required_offsets.len() - 1
+        self.index.num_kernels()
     }
 }
 
@@ -75,9 +74,10 @@ impl MemoryPolicy for DeepUmPolicy {
         if kernel + 1 >= end {
             return;
         }
-        let window = self.required_offsets[kernel + 1]..self.required_offsets[end];
+        let (flat, offsets) = self.index.working_sets();
+        let window = offsets[kernel + 1]..offsets[end];
         for idx in window {
-            let tensor = self.required_flat[idx];
+            let tensor = flat[idx];
             if state.is_resident_or_inbound(tensor)
                 || state.location(tensor) == Location::Unallocated
             {
@@ -112,7 +112,8 @@ mod tests {
         assert_eq!(p.num_kernels(), graph.num_kernels());
         // Every kernel's arena slice is non-empty (offsets strictly
         // increase) and the arena is exactly covered.
-        assert!(p.required_offsets.windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(*p.required_offsets.last().unwrap(), p.required_flat.len());
+        let (flat, offsets) = p.index.working_sets();
+        assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*offsets.last().unwrap(), flat.len());
     }
 }

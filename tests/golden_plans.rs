@@ -24,26 +24,7 @@ use g10::core::Instruction;
 use g10::dnn::models::{build_model, ModelKind};
 use g10::dnn::trace::KernelTrace;
 use g10::sim::runner::Workload;
-
-/// 64-bit FNV-1a over a stream of `u64` words.
-struct Fingerprint(u64);
-
-impl Fingerprint {
-    fn new() -> Self {
-        Fingerprint(0xcbf29ce484222325)
-    }
-
-    fn push(&mut self, word: u64) {
-        for byte in word.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x100000001b3);
-        }
-    }
-
-    fn finish(self) -> u64 {
-        self.0
-    }
-}
+use g10_bench::workload_pipeline::Fingerprint;
 
 fn destination_code(d: g10::core::config::Destination) -> u64 {
     match d {

@@ -27,26 +27,7 @@ use g10::core::config::SystemConfig;
 use g10::dnn::models::ModelKind;
 use g10::sim::runner::{run_policy, PolicyKind, Workload};
 use g10::sim::SimReport;
-
-/// 64-bit FNV-1a over a stream of `u64` words.
-struct Fingerprint(u64);
-
-impl Fingerprint {
-    fn new() -> Self {
-        Fingerprint(0xcbf29ce484222325)
-    }
-
-    fn push(&mut self, word: u64) {
-        for byte in word.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x100000001b3);
-        }
-    }
-
-    fn finish(self) -> u64 {
-        self.0
-    }
-}
+use g10_bench::workload_pipeline::Fingerprint;
 
 /// Folds every field of a replay report into one fingerprint.
 fn fingerprint_report(report: &SimReport) -> u64 {

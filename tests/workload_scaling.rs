@@ -1,0 +1,94 @@
+//! Workload build+analysis scaling tests on the synthetic deep-GPT stress
+//! workload — the third sub-linear pillar next to `planner_scaling` and
+//! `replay_scaling`.
+//!
+//! The fast test checks that the indexed pipeline (the shared
+//! `GraphIndex` feeding stats, vitality and the engines' working-set
+//! arenas) and the naive reference pipeline (one `tensor_use_sites`
+//! adjacency re-derivation per consumer, per-kernel `HashSet`
+//! deduplication) compute *identical* analysis facts on a mid-size stress
+//! cell and on a paper model.  The `#[ignore]`d test (run by the scheduled
+//! full-size CI job with `--release --ignored`) measures build+analyze wall
+//! time for one seven-policy experiment cell at ≥ 10k kernels and asserts
+//! the ≥ 5× speedup the refactor was sized for (measured 5.7× on the
+//! development machine; BERT's Figure-11 cell measures 8.3×).
+//!
+//! Both pipelines live in `g10_bench::workload_pipeline` and are shared
+//! with the `bench_workload` criterion bench.
+
+use g10_bench::workload_pipeline::{
+    build_workload, indexed_analysis_fingerprint, naive_analysis_fingerprint, WorkloadCase,
+};
+use g10_dnn::models::ModelKind;
+use std::time::Instant;
+
+#[test]
+fn naive_and_indexed_analyses_agree_at_mid_scale() {
+    for case in [
+        WorkloadCase::stress(700),
+        WorkloadCase::model(ModelKind::TinyTransformer, 8),
+    ] {
+        let (graph, trace) = build_workload(&case);
+        assert_eq!(
+            indexed_analysis_fingerprint(&graph, &trace),
+            naive_analysis_fingerprint(&graph, &trace),
+            "{}: analysis pipelines diverged",
+            case.label
+        );
+    }
+}
+
+#[test]
+#[ignore = "10k-kernel build+analyze; run with --release --ignored"]
+fn indexed_workload_pipeline_is_5x_faster_at_10k_kernels() {
+    let case = WorkloadCase::stress(10_000);
+    {
+        // Shape sanity + equality first (also warms both code paths).
+        let (graph, trace) = build_workload(&case);
+        let kernels = graph.num_kernels();
+        assert!(kernels >= 9_500, "stress graph came up short: {kernels}");
+        assert_eq!(
+            indexed_analysis_fingerprint(&graph, &trace),
+            naive_analysis_fingerprint(&graph, &trace),
+            "analysis pipelines diverged"
+        );
+    }
+
+    // Min of three runs per pipeline: the minimum is the least noisy
+    // estimate of what the code actually costs.  Each sample rebuilds the
+    // workload so the graph build (which includes the one-time index
+    // construction) is charged to both sides.
+    let timed_min = |indexed: bool| {
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                let (graph, trace) = build_workload(&case);
+                if indexed {
+                    std::hint::black_box(indexed_analysis_fingerprint(&graph, &trace));
+                } else {
+                    std::hint::black_box(naive_analysis_fingerprint(&graph, &trace));
+                }
+                start.elapsed()
+            })
+            .min()
+            .expect("three timed runs")
+    };
+    let indexed_time = timed_min(true);
+    let naive_time = timed_min(false);
+
+    let speedup = naive_time.as_secs_f64() / indexed_time.as_secs_f64().max(1e-9);
+    let (graph, _) = build_workload(&case);
+    eprintln!(
+        "workload build+analyze at {} kernels / {} tensors: \
+         naive {:.1} ms, indexed {:.1} ms, speedup {:.1}x",
+        graph.num_kernels(),
+        graph.num_tensors(),
+        naive_time.as_secs_f64() * 1e3,
+        indexed_time.as_secs_f64() * 1e3,
+        speedup
+    );
+    assert!(
+        speedup >= 5.0,
+        "expected >= 5x workload build+analyze speedup at 10k kernels, measured {speedup:.1}x"
+    );
+}
