@@ -20,7 +20,7 @@ use g10_core::vitality::VitalityAnalysis;
 use g10_dnn::cost::GpuCostModel;
 use g10_dnn::models::stress::{build, StressGptConfig};
 use g10_dnn::trace::KernelTrace;
-use g10_sim::runner::parallel_map;
+use g10_sim::parallel_map;
 use std::time::Instant;
 
 struct StressCase {

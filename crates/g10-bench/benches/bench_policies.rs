@@ -5,24 +5,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use g10_core::config::SystemConfig;
 use g10_dnn::models::ModelKind;
-use g10_sim::runner::{run_policy, PolicyKind, Workload};
+use g10_sim::{Experiment, PolicyKind, Workload};
 
 fn bench_policies(c: &mut Criterion) {
     let config = SystemConfig::table2();
     let workload = Workload::new(ModelKind::Bert, ModelKind::Bert.eval_batch());
     let mut group = c.benchmark_group("policy_replay_bert");
     group.sample_size(10);
-    for policy in [
-        PolicyKind::Ideal,
-        PolicyKind::BaseUvm,
-        PolicyKind::DeepUmPlus,
-        PolicyKind::FlashNeuron,
-        PolicyKind::G10Gds,
-        PolicyKind::G10Host,
-        PolicyKind::G10Full,
-    ] {
+    for policy in PolicyKind::ALL {
+        let experiment = Experiment::new(&workload).policy(policy).config(config);
         group.bench_function(policy.label(), |b| {
-            b.iter(|| run_policy(&workload, policy, &config))
+            b.iter(|| experiment.run().expect("built-in policies resolve"))
         });
     }
     group.finish();

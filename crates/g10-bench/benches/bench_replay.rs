@@ -17,10 +17,9 @@ use g10_core::config::SystemConfig;
 use g10_core::vitality::VitalityAnalysis;
 use g10_dnn::models::stress::StressGptConfig;
 use g10_dnn::models::ModelKind;
-use g10_sim::engine::RuntimeOptions;
-use g10_sim::metrics::SimReport;
-use g10_sim::runner::{parallel_map, run_policy, run_policy_with_options, PolicyKind, Workload};
-use g10_sim::VictimSelection;
+use g10_sim::{
+    parallel_map, Experiment, PolicyKind, RuntimeOptions, SimReport, VictimSelection, Workload,
+};
 use std::time::Instant;
 
 struct StressCase {
@@ -45,16 +44,15 @@ fn stress_case(target_kernels: usize) -> StressCase {
 }
 
 fn replay(case: &StressCase, policy: PolicyKind, selection: VictimSelection) -> SimReport {
-    run_policy_with_options(
-        &case.workload,
-        policy,
-        &case.config,
-        &case.workload.trace,
-        RuntimeOptions {
+    Experiment::new(&case.workload)
+        .policy(policy)
+        .config(case.config)
+        .options(RuntimeOptions {
             victim_selection: selection,
             ..RuntimeOptions::default()
-        },
-    )
+        })
+        .run()
+        .expect("built-in policies resolve")
 }
 
 const POLICIES: [PolicyKind; 2] = [PolicyKind::BaseUvm, PolicyKind::DeepUmPlus];
@@ -119,8 +117,9 @@ fn bench_replay(c: &mut Criterion) {
         group.sample_size(10);
         for model in ModelKind::PAPER_MODELS {
             let workload = Workload::new(model, model.eval_batch());
+            let experiment = Experiment::new(&workload).config(config);
             group.bench_function(model.name(), |b| {
-                b.iter(|| run_policy(&workload, PolicyKind::G10Full, &config))
+                b.iter(|| experiment.run().expect("built-in policies resolve"))
             });
         }
         group.finish();

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use g10_core::config::SystemConfig;
 use g10_core::scheduler::{G10Scheduler, SchedulerVariant};
 use g10_dnn::models::ModelKind;
-use g10_sim::runner::Workload;
+use g10_sim::Workload;
 
 fn bench_scheduler(c: &mut Criterion) {
     let config = SystemConfig::table2();

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use g10_core::vitality::VitalityAnalysis;
 use g10_dnn::models::ModelKind;
-use g10_sim::runner::Workload;
+use g10_sim::Workload;
 
 fn bench_vitality(c: &mut Criterion) {
     let mut group = c.benchmark_group("vitality_analysis");

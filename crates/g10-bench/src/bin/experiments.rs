@@ -1,4 +1,5 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, and runs
+//! free-form policy comparisons.
 //!
 //! ```text
 //! experiments <command> [--out results]
@@ -6,16 +7,27 @@
 //! commands:
 //!   table1 table2 fig2 fig3 fig4 fig11 fig12 fig13 fig14 fig15 fig16
 //!   fig17 fig18 fig19 lifetime all
+//!   run --model <name> [--batch N] [--policy <name>[,<name>...]]
+//!       [--gpu-mib N]
 //! ```
 //!
-//! Each command prints the rows the paper reports and writes a CSV file into
-//! the output directory (default `results/`).  The `all` run additionally
-//! prints per-figure wall time and the simulation-cell dedup count (cells
-//! repeated across figures are replayed once and served from the run
-//! cache), so grid speedups stay visible run to run.
+//! Each figure command prints the rows the paper reports and writes a CSV
+//! file into the output directory (default `results/`).  The `all` run
+//! additionally prints per-figure wall time and the simulation-cell dedup
+//! count (cells repeated across figures are replayed once and served from
+//! the run cache), so grid speedups stay visible run to run.
+//!
+//! The `run` command is not tied to any figure: it replays one (model,
+//! batch) cell under any comma-separated list of policy names — the seven
+//! built-ins or anything registered through
+//! [`g10_sim::register_policy`] — so new designs are reachable from the
+//! CLI without touching this binary.  `--batch` defaults to the model's
+//! evaluation batch and `--gpu-mib` overrides the Table 2 GPU capacity.
 
 use g10_bench::experiments::{self, run_cache_stats, EndToEndRuns};
 use g10_bench::output::{write_csv, Table};
+use g10_core::config::SystemConfig;
+use g10_dnn::models::ModelKind;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -44,8 +56,48 @@ fn figure(label: &str, f: impl FnOnce()) {
     );
 }
 
-fn run(command: &str, out_dir: &Path) -> Result<(), String> {
+/// Flags consumed by the free-form `run` command.
+#[derive(Default)]
+struct RunFlags {
+    model: Option<String>,
+    batch: Option<u64>,
+    policies: Option<String>,
+    gpu_mib: Option<u64>,
+}
+
+/// The `run` command: one (model, batch) cell under any list of policy
+/// names, resolved through the open policy registry.
+fn custom_run(flags: &RunFlags, out_dir: &Path) -> Result<(), String> {
+    let model: ModelKind = flags
+        .model
+        .as_deref()
+        .ok_or_else(|| "run requires --model <name> (try --help)".to_string())?
+        .parse()?;
+    let batch = flags.batch.unwrap_or_else(|| model.eval_batch());
+    let policies: Vec<String> = flags
+        .policies
+        .as_deref()
+        .unwrap_or("g10")
+        .split(',')
+        .map(|name| name.trim().to_string())
+        .filter(|name| !name.is_empty())
+        .collect();
+    if policies.is_empty() {
+        return Err("--policy needs at least one policy name".to_string());
+    }
+    let mut config = SystemConfig::table2();
+    if let Some(gpu_mib) = flags.gpu_mib {
+        config = config.with_gpu_memory(gpu_mib << 20);
+    }
+    let table =
+        experiments::custom_run(model, batch, &policies, &config).map_err(|err| err.to_string())?;
+    emit(&table, out_dir, &format!("run_{}_{batch}", model.name()));
+    Ok(())
+}
+
+fn run(command: &str, flags: &RunFlags, out_dir: &Path) -> Result<(), String> {
     match command {
+        "run" => custom_run(flags, out_dir)?,
         "table1" => emit(&experiments::table1(), out_dir, "table1"),
         "table2" => emit(&experiments::table2(), out_dir, "table2"),
         "fig2" => emit_all(&experiments::fig2(), out_dir, "fig2"),
@@ -116,6 +168,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
     let mut out_dir = PathBuf::from("results");
+    let mut flags = RunFlags::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -124,10 +177,47 @@ fn main() -> ExitCode {
                     out_dir = PathBuf::from(dir);
                 }
             }
+            "--model" => match iter.next() {
+                Some(model) => flags.model = Some(model.clone()),
+                None => {
+                    eprintln!("error: --model needs a model name argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--batch" => match iter.next().map(|b| b.parse::<u64>()) {
+                Some(Ok(batch)) => flags.batch = Some(batch),
+                _ => {
+                    eprintln!("error: --batch needs an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policy" => match iter.next() {
+                Some(policies) => flags.policies = Some(policies.clone()),
+                None => {
+                    eprintln!("error: --policy needs a policy-name argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--gpu-mib" => match iter.next().map(|b| b.parse::<u64>()) {
+                Some(Ok(mib)) => flags.gpu_mib = Some(mib),
+                _ => {
+                    eprintln!("error: --gpu-mib needs an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: experiments <table1|table2|fig2|fig3|fig4|fig11|fig12|fig13|fig14|\
-                     fig15|fig16|fig17|fig18|fig19|lifetime|all> [--out DIR]"
+                     fig15|fig16|fig17|fig18|fig19|lifetime|all> [--out DIR]\n\
+                     \n\
+                     free-form runs over the open policy registry:\n\
+                     \x20      experiments run --model <name> [--batch N] [--gpu-mib N]\n\
+                     \x20                  [--policy <name>[,<name>...]]\n\
+                     \n\
+                     --policy accepts the built-in designs (ideal, base-uvm, deepum+,\n\
+                     flashneuron, g10-gds, g10-host, g10) and any policy registered via\n\
+                     g10_sim::register_policy; --batch defaults to the model's evaluation\n\
+                     batch size"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -139,7 +229,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let started = std::time::Instant::now();
-    match run(&command, &out_dir) {
+    match run(&command, &flags, &out_dir) {
         Ok(()) => {
             println!(
                 "[experiments] {command} finished in {:.1}s; CSV written to {}",

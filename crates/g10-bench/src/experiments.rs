@@ -10,9 +10,7 @@ use g10_core::config::SystemConfig;
 use g10_dnn::models::ModelKind;
 use g10_dnn::stats::{fraction_longer_than, inactive_periods, memory_consumption};
 use g10_sim::metrics::SimReport;
-use g10_sim::runner::{
-    parallel_map, run_policy, run_policy_with_planning_trace, PolicyKind, Workload,
-};
+use g10_sim::{parallel_map, Experiment, PolicyKind, PolicySpec, SimError, Workload};
 use g10_ssd::EnduranceModel;
 use g10_time::Nanos;
 use std::collections::HashMap;
@@ -58,45 +56,10 @@ pub fn workload(model: ModelKind, batch: u64) -> Arc<Workload> {
         .clone()
 }
 
-/// Canonical hashable key of a [`SystemConfig`] (floats by bit pattern),
-/// used to key the simulation run cache: sweeps that modify the hardware
-/// (host memory, SSD bandwidth, PCIe generation) get distinct cells.
-///
-/// The exhaustive destructuring (no `..`) makes this fail to compile if
-/// `SystemConfig` ever gains a field, so the cache key cannot silently
-/// stop distinguishing new sweep dimensions.
+/// Canonical hashable key of a [`SystemConfig`] — see
+/// [`SystemConfig::cache_key`]: sweeps that modify the hardware (host
+/// memory, SSD bandwidth, PCIe generation) get distinct run-cache cells.
 type ConfigKey = [u64; 12];
-
-fn config_key(config: &SystemConfig) -> ConfigKey {
-    let SystemConfig {
-        gpu_memory_bytes,
-        host_memory_bytes,
-        page_bytes,
-        pcie_bytes_per_sec,
-        ssd_read_bytes_per_sec,
-        ssd_write_bytes_per_sec,
-        ssd_read_latency,
-        ssd_write_latency,
-        host_latency,
-        fault_latency,
-        fault_batch_bytes,
-        migration_batch_bytes,
-    } = *config;
-    [
-        gpu_memory_bytes,
-        host_memory_bytes,
-        page_bytes,
-        pcie_bytes_per_sec.to_bits(),
-        ssd_read_bytes_per_sec.to_bits(),
-        ssd_write_bytes_per_sec.to_bits(),
-        ssd_read_latency.as_nanos(),
-        ssd_write_latency.as_nanos(),
-        host_latency.as_nanos(),
-        fault_latency.as_nanos(),
-        fault_batch_bytes,
-        migration_batch_bytes,
-    ]
-}
 
 static RUN_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static RUN_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
@@ -120,12 +83,17 @@ pub fn cached_run(
     type RunCache = Mutex<HashMap<RunKey, CellSlot<Arc<SimReport>>>>;
     static CACHE: OnceLock<RunCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let key = (model, batch, policy, config_key(config));
+    let key = (model, batch, policy, config.cache_key());
     let slot = cell_slot(cache, &key);
     let mut fresh = false;
     let report = slot.get_or_init(|| {
         fresh = true;
-        Arc::new(run_policy(&workload(model, batch), policy, config))
+        let report = Experiment::new(&workload(model, batch))
+            .policy(policy)
+            .config(*config)
+            .run()
+            .expect("built-in policies always resolve");
+        Arc::new(report)
     });
     if fresh {
         RUN_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
@@ -147,6 +115,61 @@ pub fn run_cache_stats() -> (u64, u64) {
 
 fn pct(x: f64) -> String {
     format!("{:.1}", x * 100.0)
+}
+
+// ---------------------------------------------------------------------------
+// Free-form runs: the `experiments run --policy <name>` command
+// ---------------------------------------------------------------------------
+
+/// One free-form experiment cell: a model at a batch size under a list of
+/// policies named by string — built-ins and registered custom policies
+/// alike.  This is the driver behind the `experiments run` command, so
+/// whatever a downstream crate registers via [`g10_sim::register_policy`]
+/// is reachable from the CLI with `--policy <name>`.
+///
+/// Policy names resolve through [`PolicySpec`] parsing; an unknown name
+/// fails the whole run with a [`SimError::UnknownPolicy`] that lists every
+/// registered policy.
+pub fn custom_run(
+    model: ModelKind,
+    batch: u64,
+    policy_names: &[String],
+    config: &SystemConfig,
+) -> Result<Table, SimError> {
+    let specs: Vec<PolicySpec> = policy_names
+        .iter()
+        .map(|name| name.parse())
+        .collect::<Result<_, _>>()?;
+    let workload = workload(model, batch);
+    let reports = Experiment::new(&workload).config(*config).policies(specs)?;
+    let mut table = Table::new(
+        format!("Custom run: {}-{batch}", model.name()),
+        &[
+            "model",
+            "batch",
+            "policy",
+            "normalized_perf",
+            "total_time_s",
+            "stall_pct",
+            "ssd_gb",
+            "host_gb",
+            "faults",
+        ],
+    );
+    for report in &reports {
+        table.push_row(vec![
+            model.name().to_string(),
+            batch.to_string(),
+            report.policy.clone(),
+            format!("{:.3}", report.normalized_performance()),
+            format!("{:.3}", report.total_time.as_secs_f64()),
+            pct(report.stall_fraction()),
+            format!("{:.1}", report.traffic.ssd_total() as f64 / GB),
+            format!("{:.1}", report.traffic.host_total() as f64 / GB),
+            report.fault_count.to_string(),
+        ]);
+    }
+    Ok(table)
 }
 
 // ---------------------------------------------------------------------------
@@ -756,8 +779,12 @@ pub fn fig19() -> Table {
         let mut rows = Vec::new();
         for error in PROFILING_ERRORS {
             let noisy = workload.trace.with_noise(error, 0xC0FFEE);
-            let report =
-                run_policy_with_planning_trace(&workload, PolicyKind::G10Full, &config, &noisy);
+            let report = Experiment::new(&workload)
+                .policy(PolicyKind::G10Full)
+                .config(config)
+                .planning_trace(&noisy)
+                .run()
+                .expect("built-in policies always resolve");
             rows.push(vec![
                 model.name().to_string(),
                 format!("{:.0}", error * 100.0),

@@ -32,7 +32,7 @@ use g10_dnn::graph::{DnnGraph, KernelId};
 use g10_dnn::models::stress::StressGptConfig;
 use g10_dnn::models::ModelKind;
 use g10_dnn::trace::KernelTrace;
-use g10_sim::runner::Workload;
+use g10_sim::Workload;
 use std::collections::HashSet;
 
 /// Number of vitality analyses one experiment cell performs (G10-GDS,

@@ -144,6 +144,45 @@ impl SystemConfig {
     pub fn migration_cost(&self, bytes: u64, dest: Destination) -> Nanos {
         self.evict_time(bytes, dest) + self.prefetch_time(bytes, dest)
     }
+
+    /// Canonical hashable key of this configuration (floats by bit
+    /// pattern), used by the experiment grid's run cache: sweeps that modify
+    /// the hardware (host memory, SSD bandwidth, PCIe generation) get
+    /// distinct cells.
+    ///
+    /// The exhaustive destructuring (no `..`) makes this fail to compile if
+    /// `SystemConfig` ever gains a field, so a cache keyed on it cannot
+    /// silently stop distinguishing new sweep dimensions.
+    pub fn cache_key(&self) -> [u64; 12] {
+        let SystemConfig {
+            gpu_memory_bytes,
+            host_memory_bytes,
+            page_bytes,
+            pcie_bytes_per_sec,
+            ssd_read_bytes_per_sec,
+            ssd_write_bytes_per_sec,
+            ssd_read_latency,
+            ssd_write_latency,
+            host_latency,
+            fault_latency,
+            fault_batch_bytes,
+            migration_batch_bytes,
+        } = *self;
+        [
+            gpu_memory_bytes,
+            host_memory_bytes,
+            page_bytes,
+            pcie_bytes_per_sec.to_bits(),
+            ssd_read_bytes_per_sec.to_bits(),
+            ssd_write_bytes_per_sec.to_bits(),
+            ssd_read_latency.as_nanos(),
+            ssd_write_latency.as_nanos(),
+            host_latency.as_nanos(),
+            fault_latency.as_nanos(),
+            fault_batch_bytes,
+            migration_batch_bytes,
+        ]
+    }
 }
 
 impl Default for SystemConfig {
@@ -208,5 +247,19 @@ mod tests {
     fn destination_labels() {
         assert_eq!(Destination::Host.label(), "host");
         assert_eq!(Destination::Ssd.label(), "ssd");
+    }
+
+    #[test]
+    fn cache_key_distinguishes_every_sweep_dimension() {
+        let base = SystemConfig::table2();
+        assert_eq!(base.cache_key(), SystemConfig::table2().cache_key());
+        for modified in [
+            base.with_gpu_memory(base.gpu_memory_bytes - 1),
+            base.with_host_memory(0),
+            base.with_ssd_bandwidth(12.8e9),
+            base.with_pcie_bandwidth(32e9),
+        ] {
+            assert_ne!(base.cache_key(), modified.cache_key());
+        }
     }
 }

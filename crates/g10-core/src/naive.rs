@@ -4,8 +4,8 @@
 //! as the semantic reference for the hierarchical index structures in
 //! [`crate::pressure`] and [`crate::bandwidth`]:
 //!
-//! * the property tests assert that the segment-tree [`MemoryTimeline`]
-//!   (`crate::pressure::MemoryTimeline`) and Fenwick
+//! * the property tests assert that the segment-tree
+//!   [`MemoryTimeline`](crate::pressure::MemoryTimeline) and Fenwick
 //!   [`BandwidthTimeline`](crate::bandwidth::BandwidthTimeline) agree with
 //!   these on random operation sequences, and
 //! * `bench_planner` runs the whole eviction + prefetch pipeline against

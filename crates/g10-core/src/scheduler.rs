@@ -63,12 +63,22 @@ impl fmt::Display for SchedulerVariant {
 impl FromStr for SchedulerVariant {
     type Err = String;
 
+    /// Parses a variant name with the same normalization the simulator's
+    /// policy registry applies (lowercase, spaces/underscores → dashes), so
+    /// `"G10 GDS"`, `"g10_gds"` and `"gds"` all resolve alike.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
+        match s
+            .trim()
+            .to_ascii_lowercase()
+            .replace([' ', '_'], "-")
+            .as_str()
+        {
             "g10-gds" | "gds" => Ok(SchedulerVariant::Gds),
             "g10-host" | "host" => Ok(SchedulerVariant::Host),
-            "g10" | "full" => Ok(SchedulerVariant::Full),
-            other => Err(format!("unknown scheduler variant: {other}")),
+            "g10" | "full" | "g10-full" => Ok(SchedulerVariant::Full),
+            other => Err(format!(
+                "unknown scheduler variant `{other}` (expected one of: g10-gds, g10-host, g10)"
+            )),
         }
     }
 }

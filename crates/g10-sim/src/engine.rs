@@ -115,6 +115,16 @@ pub struct RuntimeOptions {
     pub victim_selection: VictimSelection,
 }
 
+impl RuntimeOptions {
+    /// An effectively infinite GPU capacity, used (via
+    /// [`RuntimeOptions::gpu_capacity_override`]) by the Ideal baseline's
+    /// provider and by tests that mimic it.  A quarter of `u64::MAX` rather
+    /// than the full range so the engine's projected-free-space arithmetic
+    /// (free bytes plus pending eviction bytes) stays comfortably clear of
+    /// overflow.
+    pub const UNBOUNDED_GPU: u64 = u64::MAX / 4;
+}
+
 impl Default for RuntimeOptions {
     fn default() -> Self {
         RuntimeOptions {
@@ -816,7 +826,7 @@ mod tests {
             &config,
             Box::new(IdealPolicy::new()),
             RuntimeOptions {
-                gpu_capacity_override: Some(u64::MAX / 4),
+                gpu_capacity_override: Some(RuntimeOptions::UNBOUNDED_GPU),
                 ..RuntimeOptions::default()
             },
         );

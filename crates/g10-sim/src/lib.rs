@@ -18,21 +18,31 @@
 //! * [`metrics`] — the [`metrics::SimReport`] produced by every run: total
 //!   and ideal time, stall breakdown, per-kernel slowdowns, migration
 //!   traffic, fault counts and SSD-lifetime inputs.
-//! * [`runner`] — experiment helpers: build a model, plan (for G10), replay,
-//!   and sweep parameters in parallel.
+//! * [`session`] — the programmable run API: the fluent
+//!   [`session::Experiment`] builder over the open
+//!   [`session::PolicyProvider`] registry, through which the built-in
+//!   designs and any registered custom design run alike.
+//! * [`runner`] — the workload builder ([`runner::Workload`]), the
+//!   [`runner::PolicyKind`] enumeration of the paper's designs, the
+//!   [`runner::parallel_map`] sweep helper, and legacy run wrappers.
 //!
 //! # Example
 //!
 //! ```
 //! use g10_core::config::SystemConfig;
 //! use g10_dnn::models::ModelKind;
-//! use g10_sim::runner::{run_experiment, PolicyKind};
+//! use g10_sim::{Experiment, PolicyKind, Workload};
 //!
 //! // A deliberately small GPU so the tiny model actually needs migrations.
 //! let config = SystemConfig::table2().with_gpu_memory(64 << 20);
-//! let g10 = run_experiment(ModelKind::TinyCnn, 32, PolicyKind::G10Full, &config);
-//! let base = run_experiment(ModelKind::TinyCnn, 32, PolicyKind::BaseUvm, &config);
+//! let workload = Workload::new(ModelKind::TinyCnn, 32);
+//! let g10 = Experiment::new(&workload).config(config).run()?;
+//! let base = Experiment::new(&workload)
+//!     .policy(PolicyKind::BaseUvm)
+//!     .config(config)
+//!     .run()?;
 //! assert!(g10.total_time <= base.total_time);
+//! # Ok::<(), g10_sim::SimError>(())
 //! ```
 
 pub mod engine;
@@ -41,9 +51,14 @@ pub mod naive;
 pub mod policies;
 pub mod policy;
 pub mod runner;
+pub mod session;
 pub mod victim;
 
-pub use engine::{Location, ReplayEngine, VictimSelection};
+pub use engine::{Location, ReplayEngine, RuntimeOptions, VictimSelection};
 pub use metrics::SimReport;
 pub use policy::MemoryPolicy;
-pub use runner::{run_experiment, PolicyKind};
+pub use runner::{parallel_map, run_experiment, PolicyKind, Workload};
+pub use session::{
+    register_policy, registered_policy_names, Experiment, PolicyContext, PolicyProvider,
+    PolicyRegistry, PolicySpec, SimError,
+};

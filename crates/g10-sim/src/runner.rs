@@ -1,11 +1,17 @@
-//! Experiment helpers: build a workload, plan (for G10), replay, sweep.
+//! Experiment helpers: build a workload, replay it, sweep parameters.
+//!
+//! The run entry points here ([`run_experiment`], [`run_policy`],
+//! [`run_policy_with_planning_trace`], [`run_policy_with_options`]) are
+//! thin wrappers over the [`crate::session::Experiment`] builder — new code
+//! should use the builder directly; these remain for the closed
+//! [`PolicyKind`]-enumerated call shape the earlier experiment drivers and
+//! the golden-snapshot tests were written against.
 
-use crate::engine::{ReplayEngine, RuntimeOptions};
+use crate::engine::RuntimeOptions;
 use crate::metrics::SimReport;
-use crate::policies::{BaseUvmPolicy, DeepUmPolicy, FlashNeuronPolicy, G10Policy, IdealPolicy};
-use crate::policy::MemoryPolicy;
+use crate::session::{Experiment, SimError};
 use g10_core::config::SystemConfig;
-use g10_core::scheduler::{G10Scheduler, SchedulerVariant};
+use g10_core::scheduler::SchedulerVariant;
 use g10_dnn::cost::GpuCostModel;
 use g10_dnn::graph::DnnGraph;
 use g10_dnn::models::stress::StressGptConfig;
@@ -41,6 +47,18 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
+    /// All seven designs, in the order the golden snapshots and Figure 11's
+    /// Ideal-normalised runs enumerate them.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::Ideal,
+        PolicyKind::BaseUvm,
+        PolicyKind::DeepUmPlus,
+        PolicyKind::FlashNeuron,
+        PolicyKind::G10Gds,
+        PolicyKind::G10Host,
+        PolicyKind::G10Full,
+    ];
+
     /// The designs shown in Figure 11, in presentation order.
     pub const FIGURE11: [PolicyKind; 6] = [
         PolicyKind::BaseUvm,
@@ -82,6 +100,22 @@ impl PolicyKind {
             _ => None,
         }
     }
+
+    /// Every name this design answers to in the policy registry and the
+    /// string parsers, canonical name first.  Lookups are normalized
+    /// (lowercase, spaces/underscores → dashes), so `"Base UVM"` and
+    /// `"base_uvm"` both hit `"base-uvm"`.
+    pub const fn names(self) -> &'static [&'static str] {
+        match self {
+            PolicyKind::Ideal => &["ideal"],
+            PolicyKind::BaseUvm => &["base-uvm", "baseuvm", "uvm"],
+            PolicyKind::DeepUmPlus => &["deepum+", "deepum", "deepum-plus"],
+            PolicyKind::FlashNeuron => &["flashneuron"],
+            PolicyKind::G10Gds => &["g10-gds"],
+            PolicyKind::G10Host => &["g10-host"],
+            PolicyKind::G10Full => &["g10", "g10-full"],
+        }
+    }
 }
 
 impl fmt::Display for PolicyKind {
@@ -91,19 +125,14 @@ impl fmt::Display for PolicyKind {
 }
 
 impl FromStr for PolicyKind {
-    type Err = String;
+    type Err = SimError;
 
+    /// Parses a built-in design name (any alias in [`PolicyKind::names`]).
+    /// Unknown names — including registered *custom* policies, which parse
+    /// as [`crate::session::PolicySpec`]s, not `PolicyKind`s — fail with
+    /// [`SimError::UnknownPolicy`] listing every registered policy name.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().replace([' ', '_'], "-").as_str() {
-            "ideal" => Ok(PolicyKind::Ideal),
-            "base-uvm" | "baseuvm" | "uvm" => Ok(PolicyKind::BaseUvm),
-            "deepum+" | "deepum" | "deepum-plus" => Ok(PolicyKind::DeepUmPlus),
-            "flashneuron" => Ok(PolicyKind::FlashNeuron),
-            "g10-gds" => Ok(PolicyKind::G10Gds),
-            "g10-host" => Ok(PolicyKind::G10Host),
-            "g10" | "g10-full" => Ok(PolicyKind::G10Full),
-            other => Err(format!("unknown policy: {other}")),
-        }
+        crate::session::parse_builtin(s)
     }
 }
 
@@ -164,33 +193,43 @@ impl Workload {
 }
 
 /// Replays `workload` under `policy` on the hardware described by `config`.
+///
+/// Thin wrapper over [`Experiment`].
 pub fn run_policy(workload: &Workload, policy: PolicyKind, config: &SystemConfig) -> SimReport {
-    run_policy_with_planning_trace(workload, policy, config, &workload.trace)
+    Experiment::new(workload)
+        .policy(policy)
+        .config(*config)
+        .run()
+        .expect("built-in policies always resolve")
 }
 
 /// Like [`run_policy`], but lets the G10 scheduler plan against a different
 /// (e.g. noise-perturbed) trace than the one being replayed — the profiling
 /// error study of §7.6.
+///
+/// Thin wrapper over [`Experiment::planning_trace`].
 pub fn run_policy_with_planning_trace(
     workload: &Workload,
     policy: PolicyKind,
     config: &SystemConfig,
     planning_trace: &KernelTrace,
 ) -> SimReport {
-    run_policy_with_options(
-        workload,
-        policy,
-        config,
-        planning_trace,
-        RuntimeOptions::default(),
-    )
+    Experiment::new(workload)
+        .policy(policy)
+        .config(*config)
+        .planning_trace(planning_trace)
+        .run()
+        .expect("built-in policies always resolve")
 }
 
 /// Like [`run_policy_with_planning_trace`], but starting from caller-chosen
 /// [`RuntimeOptions`] (e.g. [`crate::engine::VictimSelection::NaiveScan`]
 /// for the reference-engine runs of `bench_replay` and the replay-scaling
 /// tests).  The policy-specific fields (GPU capacity override for Ideal,
-/// classic-UVM software overhead for the G10 ablations) are applied on top.
+/// classic-UVM software overhead for the G10 ablations) are applied on top
+/// by the design's [`crate::session::PolicyProvider`].
+///
+/// Thin wrapper over [`Experiment::options`].
 pub fn run_policy_with_options(
     workload: &Workload,
     policy: PolicyKind,
@@ -198,31 +237,13 @@ pub fn run_policy_with_options(
     planning_trace: &KernelTrace,
     options: RuntimeOptions,
 ) -> SimReport {
-    let mut options = options;
-    let boxed: Box<dyn MemoryPolicy> = match policy {
-        PolicyKind::Ideal => {
-            options.gpu_capacity_override = Some(u64::MAX / 4);
-            Box::new(IdealPolicy::new())
-        }
-        PolicyKind::BaseUvm => Box::new(BaseUvmPolicy::new()),
-        PolicyKind::DeepUmPlus => Box::new(DeepUmPolicy::new(&workload.graph)),
-        PolicyKind::FlashNeuron => Box::new(FlashNeuronPolicy::new(
-            &workload.graph,
-            planning_trace,
-            config,
-        )),
-        PolicyKind::G10Gds | PolicyKind::G10Host | PolicyKind::G10Full => {
-            let variant = policy
-                .scheduler_variant()
-                .expect("G10 policies have a scheduler variant");
-            if !variant.extended_uvm() {
-                options.software_overhead_per_batch = CLASSIC_UVM_BATCH_OVERHEAD;
-            }
-            let plan = G10Scheduler::new(*config, variant).plan(&workload.graph, planning_trace);
-            Box::new(G10Policy::new(plan, variant))
-        }
-    };
-    ReplayEngine::new(&workload.graph, &workload.trace, config, boxed, options).run()
+    Experiment::new(workload)
+        .policy(policy)
+        .config(*config)
+        .planning_trace(planning_trace)
+        .options(options)
+        .run()
+        .expect("built-in policies always resolve")
 }
 
 /// Convenience wrapper: build the workload and replay it in one call.
@@ -294,16 +315,11 @@ mod tests {
 
     #[test]
     fn policy_names_parse_round_trip() {
-        for p in [
-            PolicyKind::Ideal,
-            PolicyKind::BaseUvm,
-            PolicyKind::DeepUmPlus,
-            PolicyKind::FlashNeuron,
-            PolicyKind::G10Gds,
-            PolicyKind::G10Host,
-            PolicyKind::G10Full,
-        ] {
+        for p in PolicyKind::ALL {
             assert_eq!(p.label().parse::<PolicyKind>().unwrap(), p);
+            for alias in p.names() {
+                assert_eq!(alias.parse::<PolicyKind>().unwrap(), p);
+            }
         }
         assert!("nope".parse::<PolicyKind>().is_err());
     }
@@ -324,15 +340,7 @@ mod tests {
     fn every_policy_produces_a_well_formed_report() {
         let config = tiny_config();
         let workload = Workload::new(ModelKind::TinyCnn, 32);
-        for policy in [
-            PolicyKind::Ideal,
-            PolicyKind::BaseUvm,
-            PolicyKind::DeepUmPlus,
-            PolicyKind::FlashNeuron,
-            PolicyKind::G10Gds,
-            PolicyKind::G10Host,
-            PolicyKind::G10Full,
-        ] {
+        for policy in PolicyKind::ALL {
             let report = run_policy(&workload, policy, &config);
             assert_eq!(report.policy, policy.label());
             assert_eq!(report.kernel_slowdowns.len(), workload.graph.num_kernels());

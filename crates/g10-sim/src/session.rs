@@ -1,0 +1,981 @@
+//! The programmable experiment session: a fluent [`Experiment`] builder over
+//! an open [`PolicyProvider`] registry.
+//!
+//! The paper evaluates G10 as *one* memory-management design among many over
+//! the same unified memory/storage substrate (§7 compares six designs plus
+//! ablations).  This module makes that comparison open-ended: instead of a
+//! closed ladder of free functions ending in a hardcoded `match` over
+//! [`PolicyKind`], a run is described by an [`Experiment`] — workload,
+//! policy, hardware, planning trace, runtime options — and the policy slot
+//! accepts *any* [`PolicyProvider`], looked up by name through a
+//! [`PolicyRegistry`].  The seven built-in designs are ordinary registry
+//! entries; a new design is a downstream `impl` plus one [`register_policy`]
+//! call, after which it parses from CLI strings exactly like a built-in.
+//!
+//! # Running a built-in design
+//!
+//! ```
+//! use g10_core::config::SystemConfig;
+//! use g10_dnn::models::ModelKind;
+//! use g10_sim::runner::{PolicyKind, Workload};
+//! use g10_sim::session::Experiment;
+//!
+//! let workload = Workload::new(ModelKind::TinyCnn, 32);
+//! let config = SystemConfig::table2().with_gpu_memory(64 << 20);
+//! let g10 = Experiment::new(&workload).config(config).run()?; // defaults to G10
+//! let base = Experiment::new(&workload)
+//!     .policy(PolicyKind::BaseUvm)
+//!     .config(config)
+//!     .run()?;
+//! assert!(g10.total_time <= base.total_time);
+//! # Ok::<(), g10_sim::session::SimError>(())
+//! ```
+//!
+//! # Registering an out-of-tree design
+//!
+//! A custom policy lives entirely outside this crate: implement
+//! [`MemoryPolicy`] for the runtime behaviour, [`PolicyProvider`] for its
+//! construction, register it under a name, and every entry point that parses
+//! policy names — [`PolicySpec`], [`Experiment`], the `experiments` binary's
+//! `--policy` flag — can reach it.
+//!
+//! ```
+//! use g10_core::config::SystemConfig;
+//! use g10_dnn::models::ModelKind;
+//! use g10_sim::engine::EngineState;
+//! use g10_sim::policy::MemoryPolicy;
+//! use g10_sim::runner::Workload;
+//! use g10_sim::session::{
+//!     register_policy, Experiment, PolicyContext, PolicyProvider, PolicySpec,
+//! };
+//! use std::sync::Arc;
+//!
+//! /// A deliberately naive design: evict whatever is largest, straight to
+//! /// the SSD, and never plan anything ahead of time.
+//! struct LargestFirst;
+//!
+//! impl MemoryPolicy for LargestFirst {
+//!     fn name(&self) -> String {
+//!         "LargestFirst".to_string()
+//!     }
+//!     fn before_kernel(&mut self, _: usize, _: &mut EngineState) {}
+//!     fn after_kernel(&mut self, _: usize, _: &mut EngineState) {}
+//!     fn select_victim(
+//!         &mut self,
+//!         state: &EngineState,
+//!     ) -> Option<(g10_dnn::tensor::TensorId, g10_sim::Location)> {
+//!         g10_sim::policy::largest_victim_to_ssd(state)
+//!     }
+//! }
+//!
+//! struct LargestFirstProvider;
+//!
+//! impl PolicyProvider for LargestFirstProvider {
+//!     fn build(&self, _ctx: &PolicyContext<'_>) -> Box<dyn MemoryPolicy> {
+//!         Box::new(LargestFirst)
+//!     }
+//! }
+//!
+//! register_policy("largest-first-demo", Arc::new(LargestFirstProvider));
+//!
+//! // The custom name now parses like any built-in...
+//! let spec: PolicySpec = "largest-first-demo".parse()?;
+//! // ...and runs through the same session path.
+//! let workload = Workload::new(ModelKind::TinyCnn, 8);
+//! let report = Experiment::new(&workload)
+//!     .policy(spec)
+//!     .config(SystemConfig::table2().with_gpu_memory(16 << 20))
+//!     .run()?;
+//! assert_eq!(report.policy, "LargestFirst");
+//! # Ok::<(), g10_sim::session::SimError>(())
+//! ```
+
+use crate::engine::{ReplayEngine, RuntimeOptions};
+use crate::metrics::SimReport;
+use crate::policies::{BaseUvmPolicy, DeepUmPolicy, FlashNeuronPolicy, G10Policy, IdealPolicy};
+use crate::policy::MemoryPolicy;
+use crate::runner::{parallel_map, PolicyKind, Workload, CLASSIC_UVM_BATCH_OVERHEAD};
+use g10_core::config::SystemConfig;
+use g10_core::scheduler::{G10Scheduler, SchedulerVariant};
+use g10_dnn::trace::KernelTrace;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, OnceLock, RwLock};
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Errors produced by the session API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A policy name did not resolve against the registry.  `known` lists
+    /// every registered policy name — built-ins and custom registrations —
+    /// so the error message doubles as discovery.
+    UnknownPolicy {
+        /// The name that failed to resolve, as given by the caller.
+        name: String,
+        /// Every registered policy name at the time of the failure.
+        known: Vec<String>,
+    },
+}
+
+impl SimError {
+    /// An [`SimError::UnknownPolicy`] listing the globally registered names.
+    fn unknown_policy(name: &str) -> Self {
+        SimError::UnknownPolicy {
+            name: name.to_string(),
+            known: registered_policy_names(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownPolicy { name, known } => {
+                write!(
+                    f,
+                    "unknown policy `{name}`; registered policies: {}",
+                    known.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Canonical form shared by every name-based lookup: ASCII-lowercased, with
+/// spaces and underscores mapped to dashes (so `"Base UVM"`, `"base_uvm"`
+/// and `"base-uvm"` all resolve alike).
+fn normalize(name: &str) -> String {
+    name.trim().to_ascii_lowercase().replace([' ', '_'], "-")
+}
+
+/// Resolves a normalized name against the built-in alias table.
+fn builtin_for(normalized: &str) -> Option<PolicyKind> {
+    PolicyKind::ALL
+        .into_iter()
+        .find(|kind| kind.names().contains(&normalized))
+}
+
+/// Parses a built-in policy name (the implementation behind
+/// `FromStr for PolicyKind`): accepts every alias in
+/// [`PolicyKind::names`], rejects everything else — including registered
+/// custom names, which are [`PolicySpec`]s, not `PolicyKind`s — with an
+/// [`SimError::UnknownPolicy`] listing the full registry.
+pub(crate) fn parse_builtin(s: &str) -> Result<PolicyKind, SimError> {
+    builtin_for(&normalize(s)).ok_or_else(|| SimError::unknown_policy(s))
+}
+
+// ---------------------------------------------------------------------------
+// Providers
+// ---------------------------------------------------------------------------
+
+/// Everything a [`PolicyProvider`] may consult while constructing its
+/// policy: the workload being replayed, the hardware configuration, and the
+/// trace to *plan* against (usually the workload's own profiled trace; the
+/// §7.6 robustness study plans against a noise-perturbed copy).
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyContext<'a> {
+    /// The workload the experiment replays.
+    pub workload: &'a Workload,
+    /// The hardware configuration of the run.
+    pub config: &'a SystemConfig,
+    /// The trace compile-time planners should plan against.
+    pub planning_trace: &'a KernelTrace,
+}
+
+impl PolicyContext<'_> {
+    /// A [`G10Scheduler`] for this context's hardware — the compile-time
+    /// planner custom providers can reuse (or ablate) for their own designs.
+    pub fn scheduler(&self, variant: SchedulerVariant) -> G10Scheduler {
+        G10Scheduler::new(*self.config, variant)
+    }
+
+    /// Plans smart tensor migrations for this context's workload under the
+    /// given scheduler variant (a convenience over
+    /// [`PolicyContext::scheduler`]).
+    pub fn plan(&self, variant: SchedulerVariant) -> g10_core::plan::MigrationPlan {
+        self.scheduler(variant)
+            .plan(&self.workload.graph, self.planning_trace)
+    }
+}
+
+/// A factory for one memory-management design.
+///
+/// The provider is the compile-time half of a design: it builds the
+/// [`MemoryPolicy`] that will run inside the replay engine (planning
+/// migrations first, if the design plans) and adjusts the engine's
+/// [`RuntimeOptions`] for any special runtime treatment the design needs —
+/// the Ideal baseline's unbounded GPU, the classic-UVM software overhead of
+/// the G10 ablations.  Implementations must be `Send + Sync` so sweeps can
+/// fan out across threads.
+///
+/// See the [module documentation](self) for an end-to-end out-of-tree
+/// registration example.
+pub trait PolicyProvider: Send + Sync {
+    /// Builds the runtime policy for one experiment.
+    fn build(&self, ctx: &PolicyContext<'_>) -> Box<dyn MemoryPolicy>;
+
+    /// Adjusts the engine options for this design.  The default leaves them
+    /// untouched.  Called before [`PolicyProvider::build`], on top of
+    /// whatever options the caller supplied via [`Experiment::options`].
+    fn adjust_options(&self, options: &mut RuntimeOptions) {
+        let _ = options;
+    }
+}
+
+/// Provider of the Ideal baseline: a GPU with effectively infinite on-board
+/// memory ([`RuntimeOptions::UNBOUNDED_GPU`]), so nothing ever migrates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdealProvider;
+
+impl PolicyProvider for IdealProvider {
+    fn build(&self, _ctx: &PolicyContext<'_>) -> Box<dyn MemoryPolicy> {
+        Box::new(IdealPolicy::new())
+    }
+
+    fn adjust_options(&self, options: &mut RuntimeOptions) {
+        options.gpu_capacity_override = Some(RuntimeOptions::UNBOUNDED_GPU);
+    }
+}
+
+/// Provider of Base UVM: on-demand paging with LRU eviction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaseUvmProvider;
+
+impl PolicyProvider for BaseUvmProvider {
+    fn build(&self, _ctx: &PolicyContext<'_>) -> Box<dyn MemoryPolicy> {
+        Box::new(BaseUvmPolicy::new())
+    }
+}
+
+/// Provider of DeepUM+: correlation prefetching over UVM.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeepUmPlusProvider;
+
+impl PolicyProvider for DeepUmPlusProvider {
+    fn build(&self, ctx: &PolicyContext<'_>) -> Box<dyn MemoryPolicy> {
+        Box::new(DeepUmPolicy::new(&ctx.workload.graph))
+    }
+}
+
+/// Provider of FlashNeuron: compile-time tensor offloading over GPUDirect
+/// Storage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlashNeuronProvider;
+
+impl PolicyProvider for FlashNeuronProvider {
+    fn build(&self, ctx: &PolicyContext<'_>) -> Box<dyn MemoryPolicy> {
+        Box::new(FlashNeuronPolicy::new(
+            &ctx.workload.graph,
+            ctx.planning_trace,
+            ctx.config,
+        ))
+    }
+}
+
+/// Provider of G10 and its ablations: plans smart tensor migrations with the
+/// [`G10Scheduler`] and executes the plan at replay time.  The classic-UVM
+/// ablations (G10-GDS, G10-Host) additionally charge
+/// [`CLASSIC_UVM_BATCH_OVERHEAD`] per planned migration batch.
+#[derive(Debug, Clone, Copy)]
+pub struct G10Provider {
+    variant: SchedulerVariant,
+}
+
+impl G10Provider {
+    /// Creates the provider for one scheduler variant.
+    pub fn new(variant: SchedulerVariant) -> Self {
+        G10Provider { variant }
+    }
+
+    /// The scheduler variant this provider plans with.
+    pub fn variant(&self) -> SchedulerVariant {
+        self.variant
+    }
+}
+
+impl PolicyProvider for G10Provider {
+    fn build(&self, ctx: &PolicyContext<'_>) -> Box<dyn MemoryPolicy> {
+        Box::new(G10Policy::new(ctx.plan(self.variant), self.variant))
+    }
+
+    fn adjust_options(&self, options: &mut RuntimeOptions) {
+        if !self.variant.extended_uvm() {
+            options.software_overhead_per_batch = CLASSIC_UVM_BATCH_OVERHEAD;
+        }
+    }
+}
+
+static IDEAL_PROVIDER: IdealProvider = IdealProvider;
+static BASE_UVM_PROVIDER: BaseUvmProvider = BaseUvmProvider;
+static DEEPUM_PROVIDER: DeepUmPlusProvider = DeepUmPlusProvider;
+static FLASHNEURON_PROVIDER: FlashNeuronProvider = FlashNeuronProvider;
+static G10_GDS_PROVIDER: G10Provider = G10Provider {
+    variant: SchedulerVariant::Gds,
+};
+static G10_HOST_PROVIDER: G10Provider = G10Provider {
+    variant: SchedulerVariant::Host,
+};
+static G10_FULL_PROVIDER: G10Provider = G10Provider {
+    variant: SchedulerVariant::Full,
+};
+
+impl PolicyKind {
+    /// The built-in [`PolicyProvider`] behind this design.
+    pub fn provider(self) -> &'static dyn PolicyProvider {
+        match self {
+            PolicyKind::Ideal => &IDEAL_PROVIDER,
+            PolicyKind::BaseUvm => &BASE_UVM_PROVIDER,
+            PolicyKind::DeepUmPlus => &DEEPUM_PROVIDER,
+            PolicyKind::FlashNeuron => &FLASHNEURON_PROVIDER,
+            PolicyKind::G10Gds => &G10_GDS_PROVIDER,
+            PolicyKind::G10Host => &G10_HOST_PROVIDER,
+            PolicyKind::G10Full => &G10_FULL_PROVIDER,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A provider handle as stored in (and resolved out of) a registry: the
+/// built-ins are `'static`, custom registrations are shared `Arc`s.
+#[derive(Clone)]
+enum ProviderHandle {
+    Builtin(&'static dyn PolicyProvider),
+    Custom(Arc<dyn PolicyProvider>),
+}
+
+impl ProviderHandle {
+    fn as_dyn(&self) -> &dyn PolicyProvider {
+        match self {
+            ProviderHandle::Builtin(provider) => *provider,
+            ProviderHandle::Custom(provider) => provider.as_ref(),
+        }
+    }
+}
+
+struct RegistryEntry {
+    name: String,
+    aliases: Vec<String>,
+    provider: ProviderHandle,
+    builtin: bool,
+}
+
+impl RegistryEntry {
+    fn answers_to(&self, normalized: &str) -> bool {
+        self.name == normalized || self.aliases.iter().any(|a| a == normalized)
+    }
+}
+
+/// A name→provider map over memory-management designs.
+///
+/// [`PolicyRegistry::with_builtins`] seeds the seven §7 designs under their
+/// [`PolicyKind::names`] aliases; [`PolicyRegistry::register`] adds custom
+/// providers.  Most code uses the process-global registry implicitly
+/// (through [`register_policy`], [`PolicySpec`] parsing and
+/// [`Experiment::run`]); an explicit registry handed to
+/// [`Experiment::registry`] scopes custom policies to one session — useful
+/// for tests that must not leak registrations.
+///
+/// ```
+/// use g10_sim::session::{PolicyRegistry, IdealProvider};
+/// use std::sync::Arc;
+///
+/// let mut registry = PolicyRegistry::with_builtins();
+/// assert!(registry.contains("base-uvm"));
+/// registry.register("my-ideal-twin", Arc::new(IdealProvider));
+/// assert!(registry.contains("my-ideal-twin"));
+/// assert_eq!(registry.names().len(), 8);
+/// ```
+pub struct PolicyRegistry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry (no built-ins; rarely what you want).
+    pub fn empty() -> Self {
+        PolicyRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry pre-seeded with the seven built-in §7 designs, each
+    /// registered under its [`PolicyKind::names`] aliases.
+    pub fn with_builtins() -> Self {
+        let mut registry = PolicyRegistry::empty();
+        for kind in PolicyKind::ALL {
+            let (name, aliases) = kind
+                .names()
+                .split_first()
+                .expect("every built-in has a canonical name");
+            registry.entries.push(RegistryEntry {
+                name: (*name).to_string(),
+                aliases: aliases.iter().map(|a| (*a).to_string()).collect(),
+                provider: ProviderHandle::Builtin(kind.provider()),
+                builtin: true,
+            });
+        }
+        registry
+    }
+
+    /// Registers `provider` under `name` (normalized like every lookup:
+    /// lowercase, spaces/underscores → dashes).
+    ///
+    /// Re-registering a custom name replaces the previous provider (so test
+    /// processes can re-register idempotently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` collides with a built-in name or alias — the
+    /// built-in designs are pinned by the paper's figures and cannot be
+    /// shadowed.
+    pub fn register(&mut self, name: &str, provider: Arc<dyn PolicyProvider>) -> &mut Self {
+        self.register_with_aliases(name, &[], provider)
+    }
+
+    /// Like [`PolicyRegistry::register`], with extra lookup aliases.
+    pub fn register_with_aliases(
+        &mut self,
+        name: &str,
+        aliases: &[&str],
+        provider: Arc<dyn PolicyProvider>,
+    ) -> &mut Self {
+        let name = normalize(name);
+        let aliases: Vec<String> = aliases.iter().map(|a| normalize(a)).collect();
+        for candidate in std::iter::once(&name).chain(&aliases) {
+            if let Some(hit) = self.entries.iter().find(|e| e.answers_to(candidate)) {
+                assert!(
+                    !hit.builtin,
+                    "cannot shadow the built-in policy `{}` with `{candidate}`",
+                    hit.name
+                );
+                assert!(
+                    hit.name == name,
+                    "policy name `{candidate}` is already registered by `{}`",
+                    hit.name
+                );
+            }
+        }
+        self.entries.retain(|e| e.name != name);
+        self.entries.push(RegistryEntry {
+            name,
+            aliases,
+            provider: ProviderHandle::Custom(provider),
+            builtin: false,
+        });
+        self
+    }
+
+    /// Whether `name` (any alias) resolves in this registry.
+    pub fn contains(&self, name: &str) -> bool {
+        let normalized = normalize(name);
+        self.entries.iter().any(|e| e.answers_to(&normalized))
+    }
+
+    /// Every registered canonical policy name: built-ins in
+    /// [`PolicyKind::ALL`] order, then custom registrations in
+    /// registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    fn resolve(&self, normalized: &str) -> Option<ProviderHandle> {
+        self.entries
+            .iter()
+            .find(|e| e.answers_to(normalized))
+            .map(|e| e.provider.clone())
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        PolicyRegistry::with_builtins()
+    }
+}
+
+impl fmt::Debug for PolicyRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+fn global_registry() -> &'static RwLock<PolicyRegistry> {
+    static GLOBAL: OnceLock<RwLock<PolicyRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(PolicyRegistry::with_builtins()))
+}
+
+/// Lock accessor that shrugs off poisoning: [`PolicyRegistry::register`]
+/// panics on name collisions *before* mutating any entry, so a poisoned
+/// global registry is always still in a valid state — one caller's bad
+/// registration must not brick policy resolution for the whole process.
+fn read_global() -> std::sync::RwLockReadGuard<'static, PolicyRegistry> {
+    global_registry()
+        .read()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn write_global() -> std::sync::RwLockWriteGuard<'static, PolicyRegistry> {
+    global_registry()
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Registers a custom [`PolicyProvider`] in the process-global registry,
+/// making it reachable by name from [`PolicySpec`] parsing,
+/// [`Experiment::run`] and the `experiments --policy <name>` CLI flag.  See
+/// the [module documentation](self) for an end-to-end example.
+pub fn register_policy(name: &str, provider: Arc<dyn PolicyProvider>) {
+    write_global().register(name, provider);
+}
+
+/// Every policy name registered in the process-global registry (built-ins
+/// plus custom registrations).
+pub fn registered_policy_names() -> Vec<String> {
+    read_global().names()
+}
+
+// ---------------------------------------------------------------------------
+// Policy specification
+// ---------------------------------------------------------------------------
+
+/// Which design an [`Experiment`] runs: one of the seven built-ins, or a
+/// registered custom policy by name.  Custom policies parse from CLI
+/// strings exactly like built-ins:
+///
+/// ```
+/// use g10_sim::runner::PolicyKind;
+/// use g10_sim::session::PolicySpec;
+///
+/// let spec: PolicySpec = "Base UVM".parse()?;
+/// assert_eq!(spec, PolicySpec::Builtin(PolicyKind::BaseUvm));
+/// assert!("no-such-policy".parse::<PolicySpec>().is_err());
+/// # Ok::<(), g10_sim::session::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PolicySpec {
+    /// One of the seven designs compared in §7.
+    Builtin(PolicyKind),
+    /// A custom design registered under this (normalized) name.
+    Named(String),
+}
+
+impl PolicySpec {
+    /// A spec naming a registered custom policy.  The name is normalized but
+    /// *not* validated here; resolution happens at [`Experiment::run`] time,
+    /// so specs may be constructed before the provider is registered.
+    pub fn named(name: impl AsRef<str>) -> Self {
+        PolicySpec::Named(normalize(name.as_ref()))
+    }
+}
+
+impl From<PolicyKind> for PolicySpec {
+    fn from(kind: PolicyKind) -> Self {
+        PolicySpec::Builtin(kind)
+    }
+}
+
+impl From<&PolicySpec> for PolicySpec {
+    fn from(spec: &PolicySpec) -> Self {
+        spec.clone()
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicySpec::Builtin(kind) => f.write_str(kind.label()),
+            PolicySpec::Named(name) => f.write_str(name),
+        }
+    }
+}
+
+impl FromStr for PolicySpec {
+    type Err = SimError;
+
+    /// Parses against the process-global registry: built-in aliases resolve
+    /// to [`PolicySpec::Builtin`], registered custom names to
+    /// [`PolicySpec::Named`], anything else is
+    /// [`SimError::UnknownPolicy`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = normalize(s);
+        if let Some(kind) = builtin_for(&normalized) {
+            return Ok(PolicySpec::Builtin(kind));
+        }
+        if read_global().contains(&normalized) {
+            return Ok(PolicySpec::Named(normalized));
+        }
+        Err(SimError::unknown_policy(s))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The experiment session builder
+// ---------------------------------------------------------------------------
+
+/// A fluent description of one simulation run (or a sweep of runs): a
+/// workload replayed under a policy on some hardware.
+///
+/// Unset knobs take the obvious defaults — the full G10 design, the Table 2
+/// hardware, the workload's own profiled trace for planning, default
+/// [`RuntimeOptions`], the process-global policy registry.  See the
+/// [module documentation](self) for examples, and
+/// [`Experiment::policies`] / [`Experiment::batches`] for parallel sweeps.
+#[derive(Debug, Clone)]
+pub struct Experiment<'a> {
+    workload: &'a Workload,
+    policy: PolicySpec,
+    config: SystemConfig,
+    planning_trace: Option<&'a KernelTrace>,
+    options: RuntimeOptions,
+    registry: Option<&'a PolicyRegistry>,
+}
+
+impl<'a> Experiment<'a> {
+    /// Starts a session over `workload` with every knob at its default.
+    pub fn new(workload: &'a Workload) -> Self {
+        Experiment {
+            workload,
+            policy: PolicySpec::Builtin(PolicyKind::G10Full),
+            config: SystemConfig::table2(),
+            planning_trace: None,
+            options: RuntimeOptions::default(),
+            registry: None,
+        }
+    }
+
+    /// Selects the design to run (default: the full G10).  Accepts a
+    /// [`PolicyKind`] or a [`PolicySpec`].
+    #[must_use]
+    pub fn policy(mut self, spec: impl Into<PolicySpec>) -> Self {
+        self.policy = spec.into();
+        self
+    }
+
+    /// Selects the hardware configuration (default:
+    /// [`SystemConfig::table2`]).
+    #[must_use]
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Plans against `trace` instead of the workload's own profiled trace —
+    /// the §7.6 profiling-error study.  Ignored by [`Experiment::batches`],
+    /// which rebuilds a workload (and therefore a trace) per batch size.
+    #[must_use]
+    pub fn planning_trace(mut self, trace: &'a KernelTrace) -> Self {
+        self.planning_trace = Some(trace);
+        self
+    }
+
+    /// Starts from caller-chosen engine options (e.g.
+    /// [`crate::engine::VictimSelection::NaiveScan`] for reference-engine
+    /// runs).  The provider's [`PolicyProvider::adjust_options`] is applied
+    /// on top.
+    #[must_use]
+    pub fn options(mut self, options: RuntimeOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Resolves [`PolicySpec::Named`] against this registry instead of the
+    /// process-global one (built-ins always resolve).
+    #[must_use]
+    pub fn registry(mut self, registry: &'a PolicyRegistry) -> Self {
+        self.registry = registry.into();
+        self
+    }
+
+    /// Runs the experiment: resolve the provider, let it adjust the runtime
+    /// options and build its policy (planning happens here for designs that
+    /// plan), then replay the workload.
+    pub fn run(&self) -> Result<SimReport, SimError> {
+        let provider = self.resolve(&self.policy)?;
+        let planning = self.planning_trace.unwrap_or(&self.workload.trace);
+        Ok(self.execute(self.workload, provider.as_dyn(), planning))
+    }
+
+    /// Runs the same workload under each design in `specs`, in parallel
+    /// (via [`parallel_map`]), preserving input order.  All specs are
+    /// resolved up front, so an unknown name fails the whole sweep before
+    /// any replay starts.
+    pub fn policies<S: Into<PolicySpec>>(
+        &self,
+        specs: impl IntoIterator<Item = S>,
+    ) -> Result<Vec<SimReport>, SimError> {
+        let providers: Vec<ProviderHandle> = specs
+            .into_iter()
+            .map(|spec| self.resolve(&spec.into()))
+            .collect::<Result<_, _>>()?;
+        let planning = self.planning_trace.unwrap_or(&self.workload.trace);
+        Ok(parallel_map(providers, |provider| {
+            self.execute(self.workload, provider.as_dyn(), planning)
+        }))
+    }
+
+    /// Runs the selected design at each batch size, in parallel, preserving
+    /// input order.  Each batch rebuilds the workload via [`Workload::new`]
+    /// for this workload's model (and plans against that fresh trace — a
+    /// caller-supplied [`Experiment::planning_trace`] cannot apply across
+    /// batch sizes and is ignored).
+    pub fn batches(
+        &self,
+        batches: impl IntoIterator<Item = u64>,
+    ) -> Result<Vec<SimReport>, SimError> {
+        let provider = self.resolve(&self.policy)?;
+        let model = self.workload.model;
+        let batches: Vec<u64> = batches.into_iter().collect();
+        Ok(parallel_map(batches, |&batch| {
+            let workload = Workload::new(model, batch);
+            self.execute(&workload, provider.as_dyn(), &workload.trace)
+        }))
+    }
+
+    fn resolve(&self, spec: &PolicySpec) -> Result<ProviderHandle, SimError> {
+        match spec {
+            PolicySpec::Builtin(kind) => Ok(ProviderHandle::Builtin(kind.provider())),
+            PolicySpec::Named(name) => {
+                let normalized = normalize(name);
+                let found = match self.registry {
+                    Some(registry) => registry.resolve(&normalized),
+                    None => read_global().resolve(&normalized),
+                };
+                found.ok_or_else(|| match self.registry {
+                    Some(registry) => SimError::UnknownPolicy {
+                        name: name.clone(),
+                        known: registry.names(),
+                    },
+                    None => SimError::unknown_policy(name),
+                })
+            }
+        }
+    }
+
+    fn execute(
+        &self,
+        workload: &Workload,
+        provider: &dyn PolicyProvider,
+        planning_trace: &KernelTrace,
+    ) -> SimReport {
+        let mut options = self.options;
+        provider.adjust_options(&mut options);
+        let ctx = PolicyContext {
+            workload,
+            config: &self.config,
+            planning_trace,
+        };
+        let policy = provider.build(&ctx);
+        ReplayEngine::new(
+            &workload.graph,
+            &workload.trace,
+            &self.config,
+            policy,
+            options,
+        )
+        .run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineState, Location};
+    use crate::runner::run_policy;
+    use g10_dnn::models::ModelKind;
+    use g10_dnn::tensor::TensorId;
+
+    fn tiny_config() -> SystemConfig {
+        SystemConfig::table2().with_gpu_memory(64 << 20)
+    }
+
+    #[test]
+    fn session_matches_legacy_for_every_builtin() {
+        let workload = Workload::new(ModelKind::TinyCnn, 64);
+        let config = tiny_config();
+        for kind in PolicyKind::ALL {
+            let legacy = run_policy(&workload, kind, &config);
+            let session = Experiment::new(&workload)
+                .policy(kind)
+                .config(config)
+                .run()
+                .expect("built-in policies always resolve");
+            assert_eq!(legacy, session, "{kind}: session diverged from legacy");
+        }
+    }
+
+    #[test]
+    fn policies_sweep_preserves_order_and_labels() {
+        let workload = Workload::new(ModelKind::TinyCnn, 32);
+        let reports = Experiment::new(&workload)
+            .config(tiny_config())
+            .policies(PolicyKind::FIGURE11)
+            .expect("built-ins resolve");
+        let labels: Vec<&str> = reports.iter().map(|r| r.policy.as_str()).collect();
+        let expected: Vec<&str> = PolicyKind::FIGURE11.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn batches_sweep_rebuilds_the_workload() {
+        let workload = Workload::new(ModelKind::TinyCnn, 16);
+        let reports = Experiment::new(&workload)
+            .policy(PolicyKind::BaseUvm)
+            .config(tiny_config())
+            .batches([16, 32])
+            .expect("built-ins resolve");
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].batch, 16);
+        assert_eq!(reports[1].batch, 32);
+    }
+
+    #[test]
+    fn unknown_policy_error_lists_the_builtins() {
+        let workload = Workload::new(ModelKind::TinyCnn, 8);
+        let err = Experiment::new(&workload)
+            .policy(PolicySpec::named("definitely-not-registered"))
+            .run()
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("definitely-not-registered"), "{message}");
+        for name in ["ideal", "base-uvm", "deepum+", "flashneuron", "g10"] {
+            assert!(message.contains(name), "{message} should list {name}");
+        }
+    }
+
+    #[test]
+    fn spec_parsing_accepts_aliases_and_rejects_unknowns() {
+        assert_eq!(
+            "G10".parse::<PolicySpec>().unwrap(),
+            PolicySpec::Builtin(PolicyKind::G10Full)
+        );
+        assert_eq!(
+            "base_uvm".parse::<PolicySpec>().unwrap(),
+            PolicySpec::Builtin(PolicyKind::BaseUvm)
+        );
+        assert_eq!(
+            "DeepUM+".parse::<PolicySpec>().unwrap(),
+            PolicySpec::Builtin(PolicyKind::DeepUmPlus)
+        );
+        assert!(matches!(
+            "nope".parse::<PolicySpec>(),
+            Err(SimError::UnknownPolicy { .. })
+        ));
+    }
+
+    /// A minimal custom policy for registry tests: never evicts anything.
+    struct NeverEvict;
+
+    impl MemoryPolicy for NeverEvict {
+        fn name(&self) -> String {
+            "NeverEvict".to_string()
+        }
+        fn before_kernel(&mut self, _: usize, _: &mut EngineState) {}
+        fn after_kernel(&mut self, _: usize, _: &mut EngineState) {}
+        fn select_victim(&mut self, _: &EngineState) -> Option<(TensorId, Location)> {
+            None
+        }
+    }
+
+    struct NeverEvictProvider;
+
+    impl PolicyProvider for NeverEvictProvider {
+        fn build(&self, _ctx: &PolicyContext<'_>) -> Box<dyn MemoryPolicy> {
+            Box::new(NeverEvict)
+        }
+    }
+
+    #[test]
+    fn explicit_registry_scopes_custom_policies() {
+        let mut registry = PolicyRegistry::with_builtins();
+        registry.register("Never Evict", Arc::new(NeverEvictProvider));
+        assert!(registry.contains("never-evict"));
+        assert!(registry.contains("never_evict"));
+
+        let workload = Workload::new(ModelKind::TinyCnn, 16);
+        let report = Experiment::new(&workload)
+            .policy(PolicySpec::named("never-evict"))
+            .config(tiny_config())
+            .registry(&registry)
+            .run()
+            .expect("registered policy resolves");
+        assert_eq!(report.policy, "NeverEvict");
+
+        // The global registry never saw this registration.
+        assert!(!registered_policy_names().contains(&"never-evict".to_string()));
+    }
+
+    #[test]
+    fn global_registration_reaches_string_parsing() {
+        register_policy("session-test-policy", Arc::new(NeverEvictProvider));
+        let spec = "session-test-policy"
+            .parse::<PolicySpec>()
+            .expect("globally registered name parses");
+        assert_eq!(spec, PolicySpec::named("session-test-policy"));
+        assert!(registered_policy_names().contains(&"session-test-policy".to_string()));
+
+        // PolicyKind parsing stays builtin-only, but its error now lists the
+        // custom registration.
+        let err = "session-test-policy".parse::<PolicyKind>().unwrap_err();
+        assert!(err.to_string().contains("session-test-policy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shadow the built-in policy")]
+    fn builtin_names_cannot_be_shadowed() {
+        let mut registry = PolicyRegistry::with_builtins();
+        registry.register("uvm", Arc::new(NeverEvictProvider));
+    }
+
+    #[test]
+    fn failed_global_registration_does_not_brick_the_registry() {
+        // Shadowing a built-in panics while the global write lock is held;
+        // the poisoned lock must be recovered (the registry is untouched —
+        // collision checks run before any mutation), so resolution keeps
+        // working process-wide afterwards.
+        let attempt = std::panic::catch_unwind(|| {
+            register_policy("base-uvm", Arc::new(NeverEvictProvider));
+        });
+        assert!(attempt.is_err(), "shadowing a built-in must panic");
+        assert!(registered_policy_names().contains(&"base-uvm".to_string()));
+        assert_eq!(
+            "base-uvm".parse::<PolicySpec>().unwrap(),
+            PolicySpec::Builtin(PolicyKind::BaseUvm)
+        );
+    }
+
+    #[test]
+    fn reregistering_a_custom_name_replaces_it() {
+        let mut registry = PolicyRegistry::empty();
+        registry.register("toy", Arc::new(NeverEvictProvider));
+        registry.register("toy", Arc::new(NeverEvictProvider));
+        assert_eq!(registry.names(), vec!["toy".to_string()]);
+    }
+
+    #[test]
+    fn planning_trace_flows_to_planning_providers() {
+        let workload = Workload::new(ModelKind::TinyCnn, 64);
+        let config = tiny_config();
+        let noisy = workload.trace.with_noise(0.20, 7);
+        let session = Experiment::new(&workload)
+            .config(config)
+            .planning_trace(&noisy)
+            .run()
+            .expect("builtin resolves");
+        let legacy = crate::runner::run_policy_with_planning_trace(
+            &workload,
+            PolicyKind::G10Full,
+            &config,
+            &noisy,
+        );
+        assert_eq!(session, legacy);
+    }
+}

@@ -2,7 +2,7 @@
 
 use g10_core::config::SystemConfig;
 use g10_dnn::models::ModelKind;
-use g10_sim::runner::{run_policy, PolicyKind, Workload};
+use g10_sim::{Experiment, PolicyKind, Workload};
 
 #[test]
 #[ignore = "full-size models; run explicitly with --ignored --nocapture"]
@@ -12,17 +12,13 @@ fn fig11_smoke() {
         let t0 = std::time::Instant::now();
         let workload = Workload::new(model, model.eval_batch());
         println!("{} built in {:?}", model.name(), t0.elapsed());
-        for policy in [
-            PolicyKind::Ideal,
-            PolicyKind::BaseUvm,
-            PolicyKind::FlashNeuron,
-            PolicyKind::DeepUmPlus,
-            PolicyKind::G10Gds,
-            PolicyKind::G10Host,
-            PolicyKind::G10Full,
-        ] {
+        for policy in PolicyKind::ALL {
             let t1 = std::time::Instant::now();
-            let report = run_policy(&workload, policy, &config);
+            let report = Experiment::new(&workload)
+                .policy(policy)
+                .config(config)
+                .run()
+                .expect("built-in policies resolve");
             println!(
                 "  {:12} perf={:5.1}% total={:8.2}s stall={:5.1}% ssd={:7.1}GB host={:7.1}GB faults={:8} [{:?}]",
                 report.policy,

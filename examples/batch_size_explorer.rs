@@ -8,11 +8,9 @@
 //! where `model` is one of bert, vit, inceptionv3, resnet152, senet154
 //! (default: inceptionv3).
 
-use g10::core::config::SystemConfig;
-use g10::dnn::models::ModelKind;
-use g10::sim::runner::{run_policy, PolicyKind, Workload};
+use g10::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let model: ModelKind = std::env::args()
         .nth(1)
         .map(|s| s.parse().unwrap_or(ModelKind::InceptionV3))
@@ -39,9 +37,11 @@ fn main() {
 
     for batch in model.batch_sweep() {
         let workload = Workload::new(model, batch);
+        let reports = Experiment::new(&workload)
+            .config(config)
+            .policies(policies)?;
         print!("{batch:>8}");
-        for policy in policies {
-            let report = run_policy(&workload, policy, &config);
+        for report in &reports {
             print!("{:>14.2}", report.throughput());
         }
         println!("{:>11.0}%", workload.memory_ratio(&config) * 100.0);
@@ -51,4 +51,5 @@ fn main() {
         "\nAs the batch grows, the memory demand rises and the heuristic designs fall off the\n\
          ideal curve first; G10 keeps the closest to ideal by planning migrations at compile time."
     );
+    Ok(())
 }

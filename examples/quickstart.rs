@@ -7,15 +7,13 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use g10::core::config::SystemConfig;
 use g10::core::instrument::render_window;
 use g10::core::scheduler::{G10Scheduler, SchedulerVariant};
 use g10::core::vitality::VitalityAnalysis;
 use g10::dnn::cost::GpuCostModel;
-use g10::dnn::models::ModelKind;
-use g10::sim::runner::{run_policy, PolicyKind, Workload};
+use g10::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // A small workload and a small GPU so migrations are actually needed.
     // The GPU roofline is slowed down (as the paper-calibrated workloads
     // are) so kernels are long enough to overlap migrations with.
@@ -51,10 +49,15 @@ fn main() {
     println!("\n--- instrumented program (first 6 kernels) ---");
     print!("{}", render_window(&workload.graph, &plan, 0, 6));
 
-    // 4. Replay under three designs.
+    // 4. Replay under three designs (one parallel session sweep).
     println!("\n--- replay ---");
-    for policy in [PolicyKind::Ideal, PolicyKind::BaseUvm, PolicyKind::G10Full] {
-        let report = run_policy(&workload, policy, &config);
+    let reports = Experiment::new(&workload).config(config).policies([
+        PolicyKind::Ideal,
+        PolicyKind::BaseUvm,
+        PolicyKind::G10Full,
+    ])?;
+    for report in reports {
         println!("{}", report.summary());
     }
+    Ok(())
 }

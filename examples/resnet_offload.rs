@@ -7,11 +7,9 @@
 //!
 //! Run with: `cargo run --release --example resnet_offload`
 
-use g10::core::config::SystemConfig;
-use g10::dnn::models::ModelKind;
-use g10::sim::runner::{run_policy, PolicyKind, Workload};
+use g10::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let model = ModelKind::ResNet152;
     let batch = model.eval_batch();
     let config = SystemConfig::table2();
@@ -29,17 +27,11 @@ fn main() {
         "policy", "perf", "iter time", "stall", "GPU-SSD", "GPU-Host", "faults"
     );
     let mut ideal_throughput = 0.0;
-    for policy in [
-        PolicyKind::Ideal,
-        PolicyKind::BaseUvm,
-        PolicyKind::FlashNeuron,
-        PolicyKind::DeepUmPlus,
-        PolicyKind::G10Gds,
-        PolicyKind::G10Host,
-        PolicyKind::G10Full,
-    ] {
-        let report = run_policy(&workload, policy, &config);
-        if policy == PolicyKind::Ideal {
+    let reports = Experiment::new(&workload)
+        .config(config)
+        .policies(PolicyKind::ALL)?;
+    for (policy, report) in PolicyKind::ALL.iter().zip(&reports) {
+        if *policy == PolicyKind::Ideal {
             ideal_throughput = report.throughput();
         }
         println!(
@@ -58,4 +50,5 @@ fn main() {
         ideal_throughput,
         model.throughput_unit()
     );
+    Ok(())
 }

@@ -9,13 +9,11 @@
 //!
 //! Run with: `cargo run --release --example ssd_lifetime`
 
-use g10::core::config::SystemConfig;
-use g10::dnn::models::ModelKind;
-use g10::sim::runner::{run_policy, PolicyKind, Workload};
+use g10::prelude::*;
 use g10::ssd::{EnduranceModel, Ssd, SsdConfig};
 use g10::time::Nanos;
 
-fn main() {
+fn main() -> Result<(), SimError> {
     let config = SystemConfig::table2();
     let endurance = EnduranceModel::samsung_z_ssd();
 
@@ -26,12 +24,12 @@ fn main() {
     );
     for model in [ModelKind::Bert, ModelKind::InceptionV3, ModelKind::SENet154] {
         let workload = Workload::new(model, model.eval_batch());
-        for policy in [
+        let reports = Experiment::new(&workload).config(config).policies([
             PolicyKind::DeepUmPlus,
             PolicyKind::FlashNeuron,
             PolicyKind::G10Full,
-        ] {
-            let report = run_policy(&workload, policy, &config);
+        ])?;
+        for report in &reports {
             let writes = report.ssd_write_bytes() as f64;
             let rate = writes / report.total_time.as_secs_f64();
             println!(
@@ -72,4 +70,5 @@ fn main() {
         "  mean device latency: {:.1} us",
         stats.mean_latency().as_micros_f64()
     );
+    Ok(())
 }

@@ -12,21 +12,34 @@
 //!   fault model, migration queues).
 //! * [`core`] — the paper's contribution: tensor vitality analysis and the
 //!   smart tensor migration scheduler.
-//! * [`sim`] — the trace-replay simulator with every compared design
-//!   (Ideal, Base UVM, DeepUM+, FlashNeuron, G10 and its ablations).
+//! * [`sim`] — the trace-replay simulator: the programmable
+//!   [`sim::Experiment`] session over an open [`sim::PolicyProvider`]
+//!   registry, with every compared design built in (Ideal, Base UVM,
+//!   DeepUM+, FlashNeuron, G10 and its ablations).
+//! * [`prelude`] — one-line import of the common surface.
 //!
 //! # Quick start
 //!
 //! ```
-//! use g10::core::config::SystemConfig;
-//! use g10::dnn::models::ModelKind;
-//! use g10::sim::runner::{run_experiment, PolicyKind};
+//! use g10::prelude::*;
 //!
+//! let workload = Workload::new(ModelKind::TinyCnn, 32);
 //! let config = SystemConfig::table2().with_gpu_memory(64 << 20);
-//! let report = run_experiment(ModelKind::TinyCnn, 32, PolicyKind::G10Full, &config);
+//! let report = Experiment::new(&workload)
+//!     .policy(PolicyKind::G10Full)
+//!     .config(config)
+//!     .run()?;
 //! println!("{}", report.summary());
 //! assert!(report.normalized_performance() > 0.0);
+//! # Ok::<(), g10::sim::SimError>(())
 //! ```
+//!
+//! Custom designs plug in through the same session:
+//! `impl g10::sim::policy::MemoryPolicy` + `impl PolicyProvider`, register
+//! with [`sim::register_policy`], and the new name runs everywhere a
+//! built-in does — `Experiment`, [`PolicySpec`](sim::PolicySpec) string
+//! parsing, and the `experiments --policy <name>` CLI.  See
+//! [`g10_sim::session`] for an end-to-end example.
 
 pub use g10_core as core;
 pub use g10_dnn as dnn;
@@ -34,3 +47,25 @@ pub use g10_sim as sim;
 pub use g10_ssd as ssd;
 pub use g10_time as time;
 pub use g10_uvm as uvm;
+
+/// The common surface, importable in one line: `use g10::prelude::*;`.
+///
+/// Re-exports the session API ([`Experiment`](g10_sim::Experiment),
+/// [`PolicySpec`](g10_sim::PolicySpec),
+/// [`PolicyProvider`](g10_sim::PolicyProvider),
+/// [`PolicyRegistry`](g10_sim::PolicyRegistry),
+/// [`SimError`](g10_sim::SimError)), the workload and hardware descriptions
+/// ([`Workload`](g10_sim::Workload),
+/// [`SystemConfig`](g10_core::config::SystemConfig),
+/// [`ModelKind`](g10_dnn::models::ModelKind),
+/// [`RuntimeOptions`](g10_sim::RuntimeOptions)), the built-in design
+/// enumeration ([`PolicyKind`](g10_sim::PolicyKind)) and the run output
+/// ([`SimReport`](g10_sim::SimReport)).
+pub mod prelude {
+    pub use g10_core::config::SystemConfig;
+    pub use g10_dnn::models::ModelKind;
+    pub use g10_sim::{
+        register_policy, Experiment, PolicyContext, PolicyKind, PolicyProvider, PolicyRegistry,
+        PolicySpec, RuntimeOptions, SimError, SimReport, Workload,
+    };
+}

@@ -1,15 +1,21 @@
 //! Cross-crate integration tests: workload → vitality analysis → migration
 //! plan → replay, checking the invariants that tie the crates together.
 
-use g10::core::config::SystemConfig;
 use g10::core::plan::Instruction;
 use g10::core::scheduler::{G10Scheduler, SchedulerVariant};
 use g10::core::vitality::VitalityAnalysis;
-use g10::dnn::models::ModelKind;
-use g10::sim::runner::{run_policy, PolicyKind, Workload};
+use g10::prelude::*;
 
 fn constrained_config() -> SystemConfig {
     SystemConfig::table2().with_gpu_memory(64 << 20)
+}
+
+fn run_policy(workload: &Workload, policy: PolicyKind, config: &SystemConfig) -> SimReport {
+    Experiment::new(workload)
+        .policy(policy)
+        .config(*config)
+        .run()
+        .expect("built-in policies resolve")
 }
 
 #[test]
@@ -125,12 +131,11 @@ fn profiling_noise_barely_affects_g10() {
     let config = constrained_config();
     let exact = run_policy(&workload, PolicyKind::G10Full, &config);
     let noisy_trace = workload.trace.with_noise(0.20, 7);
-    let noisy = g10::sim::runner::run_policy_with_planning_trace(
-        &workload,
-        PolicyKind::G10Full,
-        &config,
-        &noisy_trace,
-    );
+    let noisy = Experiment::new(&workload)
+        .config(config)
+        .planning_trace(&noisy_trace)
+        .run()
+        .expect("built-in policies resolve");
     let ratio = noisy.total_time.as_secs_f64() / exact.total_time.as_secs_f64();
     assert!(
         ratio < 1.15,

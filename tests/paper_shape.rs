@@ -5,9 +5,15 @@
 //! `#[ignore]`d by default; run them with
 //! `cargo test --release --test paper_shape -- --ignored`.
 
-use g10::core::config::SystemConfig;
-use g10::dnn::models::ModelKind;
-use g10::sim::runner::{run_policy, PolicyKind, Workload};
+use g10::prelude::*;
+
+fn run_policy(workload: &Workload, policy: PolicyKind, config: &SystemConfig) -> SimReport {
+    Experiment::new(workload)
+        .policy(policy)
+        .config(*config)
+        .run()
+        .expect("built-in policies resolve")
+}
 
 fn normalized(workload: &Workload, policy: PolicyKind, config: &SystemConfig) -> f64 {
     run_policy(workload, policy, config).normalized_performance()
@@ -110,12 +116,11 @@ fn profiling_error_costs_less_than_five_percent() {
         let workload = Workload::new(model, model.eval_batch());
         let exact = run_policy(&workload, PolicyKind::G10Full, &config);
         let noisy_trace = workload.trace.with_noise(0.20, 99);
-        let noisy = g10::sim::runner::run_policy_with_planning_trace(
-            &workload,
-            PolicyKind::G10Full,
-            &config,
-            &noisy_trace,
-        );
+        let noisy = Experiment::new(&workload)
+            .config(config)
+            .planning_trace(&noisy_trace)
+            .run()
+            .expect("built-in policies resolve");
         let degradation = noisy.total_time.as_secs_f64() / exact.total_time.as_secs_f64() - 1.0;
         assert!(
             degradation < 0.05,

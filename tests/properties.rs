@@ -11,7 +11,7 @@ use g10::dnn::builder::GraphBuilder;
 use g10::dnn::cost::GpuCostModel;
 use g10::dnn::graph::DnnGraph;
 use g10::dnn::trace::KernelTrace;
-use g10::sim::runner::{run_policy, PolicyKind, Workload};
+use g10::sim::{Experiment, PolicyKind, Workload};
 use g10::time::Nanos;
 use g10::uvm::page_table::UnifiedPageTable;
 use g10::uvm::{MemKind, Vpn};
@@ -101,7 +101,11 @@ proptest! {
         ];
         let workload = Workload::new(g10::dnn::models::ModelKind::TinyCnn, graph_batch * 8);
         let config = SystemConfig::table2().with_gpu_memory(gpu_mib << 20);
-        let report = run_policy(&workload, policies[policy_idx], &config);
+        let report = Experiment::new(&workload)
+            .policy(policies[policy_idx])
+            .config(config)
+            .run()
+            .expect("built-in policies resolve");
         prop_assert!(report.total_time >= report.ideal_time);
         prop_assert!(report.kernel_slowdowns.iter().all(|s| *s >= 1.0 - 1e-9));
         prop_assert!(report.normalized_performance() <= 1.0 + 1e-9);

@@ -12,9 +12,7 @@
 use g10::core::config::SystemConfig;
 use g10::core::vitality::VitalityAnalysis;
 use g10::dnn::models::stress::StressGptConfig;
-use g10::sim::engine::RuntimeOptions;
-use g10::sim::runner::{run_policy_with_options, PolicyKind, Workload};
-use g10::sim::{SimReport, VictimSelection};
+use g10::sim::{Experiment, PolicyKind, RuntimeOptions, SimReport, VictimSelection, Workload};
 use std::time::Instant;
 
 /// Batch 2 keeps individual activations small, so the constrained GPU holds
@@ -37,16 +35,15 @@ fn replay(
     config: &SystemConfig,
     selection: VictimSelection,
 ) -> SimReport {
-    run_policy_with_options(
-        workload,
-        policy,
-        config,
-        &workload.trace,
-        RuntimeOptions {
+    Experiment::new(workload)
+        .policy(policy)
+        .config(*config)
+        .options(RuntimeOptions {
             victim_selection: selection,
             ..RuntimeOptions::default()
-        },
-    )
+        })
+        .run()
+        .expect("built-in policies resolve")
 }
 
 #[test]

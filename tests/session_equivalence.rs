@@ -1,0 +1,187 @@
+//! Session-vs-legacy equivalence: the [`Experiment`] / `PolicyProvider`
+//! redesign must be a pure re-plumbing of the run path.
+//!
+//! Every (tiny model, policy) cell is replayed through both the legacy free
+//! functions (`run_policy` and friends, now thin wrappers) and an explicit
+//! [`Experiment`] session, and the two [`SimReport`]s are compared through
+//! the same FNV fingerprint scheme `tests/golden_reports.rs` pins against
+//! its committed snapshots — so this file guards the *paths* against each
+//! other while the goldens guard both against history.
+//!
+//! The second half exercises the open half of the redesign: a custom policy
+//! defined entirely in this test (outside `g10-sim`) is registered under a
+//! name, round-tripped through the CLI string-parse path
+//! ([`PolicySpec::from_str`] and the `experiments run --policy <name>`
+//! driver), and run through the session.
+
+use g10::prelude::*;
+use g10::sim::engine::EngineState;
+use g10::sim::policy::{largest_victim_to_ssd, MemoryPolicy};
+use g10::sim::runner::{run_policy, run_policy_with_planning_trace};
+use g10::sim::Location;
+use g10_bench::workload_pipeline::Fingerprint;
+use std::sync::Arc;
+
+/// Folds every field of a replay report into one fingerprint (the scheme of
+/// `tests/golden_reports.rs`).
+fn fingerprint_report(report: &SimReport) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.push(report.batch);
+    fp.push(report.total_time.as_nanos());
+    fp.push(report.ideal_time.as_nanos());
+    fp.push(report.stall_time.as_nanos());
+    for s in &report.kernel_slowdowns {
+        fp.push(s.to_bits());
+    }
+    fp.push(report.traffic.gpu_to_ssd_bytes);
+    fp.push(report.traffic.ssd_to_gpu_bytes);
+    fp.push(report.traffic.gpu_to_host_bytes);
+    fp.push(report.traffic.host_to_gpu_bytes);
+    fp.push(report.fault_count);
+    fp.push(report.prefetches_issued);
+    fp.push(report.prefetches_dropped);
+    fp.push(report.evictions_issued);
+    fp.push(report.oversubscribed as u64);
+    fp.push(report.working_set_exceeds_gpu as u64);
+    fp.finish()
+}
+
+/// The tiny-model cells of the golden-report suite: capacities chosen so the
+/// eviction, fault and prefetch paths are all exercised.
+const CELLS: [(ModelKind, u64, u64); 3] = [
+    (ModelKind::TinyCnn, 64, 64 << 20),
+    (ModelKind::TinyCnn, 64, 32 << 20),
+    (ModelKind::TinyTransformer, 32, 4 << 20),
+];
+
+#[test]
+fn session_and_legacy_paths_produce_identical_reports() {
+    for (model, batch, gpu_bytes) in CELLS {
+        let workload = Workload::new(model, batch);
+        let config = SystemConfig::table2().with_gpu_memory(gpu_bytes);
+        for policy in PolicyKind::ALL {
+            let legacy = run_policy(&workload, policy, &config);
+            let session = Experiment::new(&workload)
+                .policy(policy)
+                .config(config)
+                .run()
+                .expect("built-in policies resolve");
+            assert_eq!(
+                fingerprint_report(&legacy),
+                fingerprint_report(&session),
+                "{model} batch {batch} under {policy}: session diverged from legacy"
+            );
+            assert_eq!(legacy, session);
+        }
+    }
+}
+
+#[test]
+fn session_sweep_matches_per_policy_runs() {
+    let workload = Workload::new(ModelKind::TinyCnn, 64);
+    let config = SystemConfig::table2().with_gpu_memory(48 << 20);
+    let swept = Experiment::new(&workload)
+        .config(config)
+        .policies(PolicyKind::ALL)
+        .expect("built-in policies resolve");
+    for (policy, report) in PolicyKind::ALL.iter().zip(&swept) {
+        let single = run_policy(&workload, *policy, &config);
+        assert_eq!(fingerprint_report(&single), fingerprint_report(report));
+    }
+}
+
+#[test]
+fn session_planning_trace_matches_legacy() {
+    let workload = Workload::new(ModelKind::TinyCnn, 64);
+    let config = SystemConfig::table2().with_gpu_memory(64 << 20);
+    let noisy = workload.trace.with_noise(0.15, 42);
+    for policy in [PolicyKind::G10Full, PolicyKind::FlashNeuron] {
+        let legacy = run_policy_with_planning_trace(&workload, policy, &config, &noisy);
+        let session = Experiment::new(&workload)
+            .policy(policy)
+            .config(config)
+            .planning_trace(&noisy)
+            .run()
+            .expect("built-in policies resolve");
+        assert_eq!(fingerprint_report(&legacy), fingerprint_report(&session));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The open half: a custom policy defined outside g10-sim
+// ---------------------------------------------------------------------------
+
+/// A toy design defined entirely in this test: largest-resident-first
+/// eviction straight to the SSD, no planning, no prefetching.
+struct LargestFirstPolicy;
+
+impl MemoryPolicy for LargestFirstPolicy {
+    fn name(&self) -> String {
+        "LargestFirst".to_string()
+    }
+    fn before_kernel(&mut self, _: usize, _: &mut EngineState) {}
+    fn after_kernel(&mut self, _: usize, _: &mut EngineState) {}
+    fn select_victim(
+        &mut self,
+        state: &EngineState,
+    ) -> Option<(g10::dnn::tensor::TensorId, Location)> {
+        largest_victim_to_ssd(state)
+    }
+}
+
+struct LargestFirstProvider;
+
+impl PolicyProvider for LargestFirstProvider {
+    fn build(&self, _ctx: &PolicyContext<'_>) -> Box<dyn MemoryPolicy> {
+        Box::new(LargestFirstPolicy)
+    }
+}
+
+#[test]
+fn custom_policy_round_trips_through_the_cli_string_parse_path() {
+    register_policy("largest-first", Arc::new(LargestFirstProvider));
+
+    // The registered name parses exactly like a built-in...
+    let spec: PolicySpec = "largest-first".parse().expect("registered name parses");
+    assert_eq!(spec, PolicySpec::named("largest-first"));
+    // ...and is listed by the typed unknown-policy error.
+    let err = "not-a-policy".parse::<PolicySpec>().unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("largest-first"), "{message}");
+    assert!(message.contains("g10"), "{message}");
+
+    // PolicySpec::Named runs through Experiment::run.
+    let workload = Workload::new(ModelKind::TinyCnn, 64);
+    let config = SystemConfig::table2().with_gpu_memory(32 << 20);
+    let report = Experiment::new(&workload)
+        .policy(spec)
+        .config(config)
+        .run()
+        .expect("registered policy resolves");
+    assert_eq!(report.policy, "LargestFirst");
+    assert!(report.evictions_issued > 0, "constrained GPU must evict");
+    assert!(report.total_time >= report.ideal_time);
+
+    // And through the driver behind `experiments run --policy <name>`:
+    // built-in and custom names side by side in one CLI-shaped invocation.
+    let table = g10_bench::experiments::custom_run(
+        ModelKind::TinyCnn,
+        64,
+        &["base-uvm".to_string(), "largest-first".to_string()],
+        &config,
+    )
+    .expect("CLI path resolves the custom policy");
+    let rendered = table.render();
+    assert!(rendered.contains("LargestFirst"), "{rendered}");
+    assert!(rendered.contains("Base UVM"), "{rendered}");
+
+    // An unknown name fails the CLI path with the typed error.
+    let err = g10_bench::experiments::custom_run(
+        ModelKind::TinyCnn,
+        64,
+        &["no-such-design".to_string()],
+        &config,
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::UnknownPolicy { .. }));
+}
