@@ -1,21 +1,30 @@
-//! Regenerates every table and figure of the paper's evaluation, and runs
-//! free-form policy comparisons.
+//! Regenerates every table and figure of the paper's evaluation, runs
+//! free-form policy comparisons, and drives the perf-trajectory harness.
 //!
 //! ```text
-//! experiments <command> [--out results]
+//! experiments <command> [--out results] [--cache-dir DIR | --no-cache]
 //!
 //! commands:
 //!   table1 table2 fig2 fig3 fig4 fig11 fig12 fig13 fig14 fig15 fig16
 //!   fig17 fig18 fig19 lifetime all
 //!   run --model <name> [--batch N] [--policy <name>[,<name>...]]
 //!       [--gpu-mib N]
+//!   bench snapshot [--full]
+//!   bench compare <baseline.json> <fresh.json>
+//!       [--min-speedup-ratio X] [--max-wall-ratio X]
 //! ```
 //!
 //! Each figure command prints the rows the paper reports and writes a CSV
 //! file into the output directory (default `results/`).  The `all` run
-//! additionally prints per-figure wall time and the simulation-cell dedup
-//! count (cells repeated across figures are replayed once and served from
-//! the run cache), so grid speedups stay visible run to run.
+//! additionally prints per-figure wall time; every command that replays
+//! simulation cells prints the three-way run-cache tally (replayed /
+//! memory hits / disk hits) on exit.
+//!
+//! With `--cache-dir DIR` (or `G10_CACHE_DIR=DIR` in the environment),
+//! replayed cells are persisted to a content-addressed on-disk store and
+//! later invocations — including fresh processes — serve them as *disk
+//! hits* with byte-identical CSVs.  `--no-cache` disables the store even
+//! when the environment variable is set.
 //!
 //! The `run` command is not tied to any figure: it replays one (model,
 //! batch) cell under any comma-separated list of policy names — the seven
@@ -23,9 +32,18 @@
 //! [`g10_sim::register_policy`] — so new designs are reachable from the
 //! CLI without touching this binary.  `--batch` defaults to the model's
 //! evaluation batch and `--gpu-mib` overrides the Table 2 GPU capacity.
+//!
+//! `bench snapshot` emits a `BENCH_<n>.json` perf-trajectory snapshot
+//! (head-to-head pillar timings + the full grid) under the output
+//! directory, and `bench compare` gates a fresh snapshot against a
+//! committed baseline — see `scripts/bench-compare.sh` and the README's
+//! bench-trajectory section.
 
-use g10_bench::experiments::{self, run_cache_stats, EndToEndRuns};
+use g10_bench::experiments::{self, run_cache_stats, set_run_store, EndToEndRuns};
+use g10_bench::json::Json;
 use g10_bench::output::{write_csv, Table};
+use g10_bench::store::RunStore;
+use g10_bench::trajectory::{self, CompareOptions, SnapshotMode};
 use g10_core::config::SystemConfig;
 use g10_dnn::models::ModelKind;
 use std::path::{Path, PathBuf};
@@ -56,18 +74,23 @@ fn figure(label: &str, f: impl FnOnce()) {
     );
 }
 
-/// Flags consumed by the free-form `run` command.
+/// Flags consumed by the subcommands.
 #[derive(Default)]
-struct RunFlags {
+struct Flags {
     model: Option<String>,
     batch: Option<u64>,
     policies: Option<String>,
     gpu_mib: Option<u64>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
+    full: bool,
+    min_speedup_ratio: Option<f64>,
+    max_wall_ratio: Option<f64>,
 }
 
 /// The `run` command: one (model, batch) cell under any list of policy
 /// names, resolved through the open policy registry.
-fn custom_run(flags: &RunFlags, out_dir: &Path) -> Result<(), String> {
+fn custom_run(flags: &Flags, out_dir: &Path) -> Result<(), String> {
     let model: ModelKind = flags
         .model
         .as_deref()
@@ -95,7 +118,71 @@ fn custom_run(flags: &RunFlags, out_dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn run(command: &str, flags: &RunFlags, out_dir: &Path) -> Result<(), String> {
+/// `bench snapshot`: emit the next `BENCH_<n>.json` under the out dir.
+fn bench_snapshot(flags: &Flags, out_dir: &Path) -> Result<(), String> {
+    let mode = if flags.full {
+        SnapshotMode::Full
+    } else {
+        SnapshotMode::Default
+    };
+    let snapshot = trajectory::collect(mode, out_dir);
+    for phase in &snapshot.phases {
+        println!("[bench] {:18} {:>10.1} ms", phase.name, phase.wall_ms);
+    }
+    for (pillar, ratio) in &snapshot.speedups {
+        println!("[bench] {pillar}_speedup: {ratio:.1}x");
+    }
+    println!(
+        "[bench] grid: {} cells replayed, {} memory hits, {} disk hits, {} CSV files",
+        snapshot.grid.cells_replayed,
+        snapshot.grid.memory_hits,
+        snapshot.grid.disk_hits,
+        snapshot.grid.csv_files
+    );
+    let path = trajectory::write_snapshot(&snapshot, out_dir).map_err(|err| err.to_string())?;
+    println!("[bench] snapshot written to {}", path.display());
+    Ok(())
+}
+
+/// `bench compare`: gate a fresh snapshot against the committed baseline.
+fn bench_compare(flags: &Flags, baseline_path: &str, fresh_path: &str) -> Result<(), String> {
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| format!("could not read snapshot {path}: {err}"))?;
+        Json::parse(&text).map_err(|err| format!("could not parse snapshot {path}: {err}"))
+    };
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    let mut opts = CompareOptions::default();
+    if let Some(ratio) = flags.min_speedup_ratio {
+        opts.min_speedup_ratio = ratio;
+    }
+    if let Some(ratio) = flags.max_wall_ratio {
+        opts.max_wall_ratio = ratio;
+    }
+    let outcome = trajectory::compare(&baseline, &fresh, &opts);
+    for pass in &outcome.passes {
+        println!("[bench] ok: {pass}");
+    }
+    for failure in &outcome.failures {
+        eprintln!("[bench] REGRESSION: {failure}");
+    }
+    if outcome.is_ok() {
+        println!(
+            "[bench] no perf regression vs {baseline_path} \
+             (speedup floor ratio {}, wall ceiling ratio {})",
+            opts.min_speedup_ratio, opts.max_wall_ratio
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{} perf-trajectory check(s) failed vs {baseline_path}",
+            outcome.failures.len()
+        ))
+    }
+}
+
+fn run(command: &str, flags: &Flags, out_dir: &Path) -> Result<(), String> {
     match command {
         "run" => custom_run(flags, out_dir)?,
         "table1" => emit(&experiments::table1(), out_dir, "table1"),
@@ -119,45 +206,16 @@ fn run(command: &str, flags: &RunFlags, out_dir: &Path) -> Result<(), String> {
         "fig18" => emit(&experiments::fig18(), out_dir, "fig18"),
         "fig19" => emit(&experiments::fig19(), out_dir, "fig19"),
         "all" => {
-            figure("table1", || emit(&experiments::table1(), out_dir, "table1"));
-            figure("table2", || emit(&experiments::table2(), out_dir, "table2"));
-            figure("fig2", || emit_all(&experiments::fig2(), out_dir, "fig2"));
-            figure("fig3", || emit(&experiments::fig3(), out_dir, "fig3"));
-            figure("fig4", || emit_all(&experiments::fig4(), out_dir, "fig4"));
-            let data = {
-                let started = Instant::now();
-                let data = EndToEndRuns::collect();
-                println!(
-                    "[experiments] end-to-end runs took {:.1}s",
-                    started.elapsed().as_secs_f64()
-                );
-                data
-            };
-            figure("fig11", || {
-                emit(&experiments::fig11(&data), out_dir, "fig11")
-            });
-            figure("fig12", || {
-                emit(&experiments::fig12(&data), out_dir, "fig12")
-            });
-            figure("fig13", || {
-                emit(&experiments::fig13(&data), out_dir, "fig13")
-            });
-            figure("fig14", || {
-                emit(&experiments::fig14(&data), out_dir, "fig14")
-            });
-            figure("lifetime", || {
-                emit(&experiments::lifetime(&data), out_dir, "lifetime")
-            });
-            figure("fig15", || emit(&experiments::fig15(), out_dir, "fig15"));
-            figure("fig16", || emit(&experiments::fig16(), out_dir, "fig16"));
-            figure("fig17", || emit(&experiments::fig17(), out_dir, "fig17"));
-            figure("fig18", || emit(&experiments::fig18(), out_dir, "fig18"));
-            figure("fig19", || emit(&experiments::fig19(), out_dir, "fig19"));
-            let (replayed, cached) = run_cache_stats();
-            println!(
-                "[experiments] simulation cells: {replayed} replayed, \
-                 {cached} deduplicated (served from the run cache)"
-            );
+            for (name, driver) in experiments::figure_set() {
+                figure(name, || {
+                    let tables = driver();
+                    if tables.len() == 1 {
+                        emit(&tables[0], out_dir, name);
+                    } else {
+                        emit_all(&tables, out_dir, name);
+                    }
+                });
+            }
         }
         other => return Err(format!("unknown command: {other}")),
     }
@@ -166,9 +224,9 @@ fn run(command: &str, flags: &RunFlags, out_dir: &Path) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut command = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from("results");
-    let mut flags = RunFlags::default();
+    let mut flags = Flags::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -205,34 +263,102 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--cache-dir" => match iter.next() {
+                Some(dir) => flags.cache_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --cache-dir needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--no-cache" => flags.no_cache = true,
+            "--full" => flags.full = true,
+            "--min-speedup-ratio" => match iter.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(ratio)) => flags.min_speedup_ratio = Some(ratio),
+                _ => {
+                    eprintln!("error: --min-speedup-ratio needs a number argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-wall-ratio" => match iter.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(ratio)) => flags.max_wall_ratio = Some(ratio),
+                _ => {
+                    eprintln!("error: --max-wall-ratio needs a number argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: experiments <table1|table2|fig2|fig3|fig4|fig11|fig12|fig13|fig14|\
                      fig15|fig16|fig17|fig18|fig19|lifetime|all> [--out DIR]\n\
+                     \x20                  [--cache-dir DIR | --no-cache]\n\
                      \n\
                      free-form runs over the open policy registry:\n\
                      \x20      experiments run --model <name> [--batch N] [--gpu-mib N]\n\
                      \x20                  [--policy <name>[,<name>...]]\n\
                      \n\
+                     perf-trajectory harness (see scripts/bench-compare.sh):\n\
+                     \x20      experiments bench snapshot [--full] [--out DIR]\n\
+                     \x20      experiments bench compare <baseline.json> <fresh.json>\n\
+                     \x20                  [--min-speedup-ratio X] [--max-wall-ratio X]\n\
+                     \n\
                      --policy accepts the built-in designs (ideal, base-uvm, deepum+,\n\
                      flashneuron, g10-gds, g10-host, g10) and any policy registered via\n\
                      g10_sim::register_policy; --batch defaults to the model's evaluation\n\
-                     batch size"
+                     batch size.  --cache-dir DIR (or G10_CACHE_DIR=DIR) persists replayed\n\
+                     cells to an on-disk store shared across processes; --no-cache\n\
+                     disables it"
                 );
                 return ExitCode::SUCCESS;
             }
-            other => command = Some(other.to_string()),
+            other => positionals.push(other.to_string()),
         }
     }
-    let Some(command) = command else {
+    if positionals.is_empty() {
         eprintln!("error: no command given (try --help)");
         return ExitCode::FAILURE;
+    }
+
+    // Install the persistent run-cache store, if requested.  An explicit
+    // flag always wins; the environment variable is the CI/dev default.
+    let cache_dir = if flags.no_cache {
+        None
+    } else {
+        flags
+            .cache_dir
+            .clone()
+            .or_else(|| std::env::var_os("G10_CACHE_DIR").map(PathBuf::from))
     };
+    if let Some(dir) = cache_dir {
+        match RunStore::open(&dir) {
+            Ok(store) => set_run_store(Some(store)),
+            Err(err) => {
+                eprintln!("error: could not open cache dir {}: {err}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let started = std::time::Instant::now();
-    match run(&command, &flags, &out_dir) {
+    let result = match positionals[0].as_str() {
+        "bench" => match positionals.get(1).map(String::as_str) {
+            Some("snapshot") => bench_snapshot(&flags, &out_dir),
+            Some("compare") => match (positionals.get(2), positionals.get(3)) {
+                (Some(baseline), Some(fresh)) => bench_compare(&flags, baseline, fresh),
+                _ => Err("bench compare needs <baseline.json> <fresh.json>".to_string()),
+            },
+            _ => Err("bench needs a subcommand: snapshot | compare".to_string()),
+        },
+        command => run(command, &flags, &out_dir),
+    };
+    let command = positionals.join(" ");
+    match result {
         Ok(()) => {
+            let stats = run_cache_stats();
+            if stats.total() > 0 {
+                println!("[experiments] {}", stats.summary());
+            }
             println!(
-                "[experiments] {command} finished in {:.1}s; CSV written to {}",
+                "[experiments] {command} finished in {:.1}s; output written to {}",
                 started.elapsed().as_secs_f64(),
                 out_dir.display()
             );

@@ -6,6 +6,7 @@
 //! by the criterion benches.
 
 use crate::output::Table;
+use crate::store::{RunKey, RunStore};
 use g10_core::config::SystemConfig;
 use g10_dnn::models::ModelKind;
 use g10_dnn::stats::{fraction_longer_than, inactive_periods, memory_consumption};
@@ -61,8 +62,26 @@ pub fn workload(model: ModelKind, batch: u64) -> Arc<Workload> {
 /// memory, SSD bandwidth, PCIe generation) get distinct run-cache cells.
 type ConfigKey = [u64; 12];
 
-static RUN_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-static RUN_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static RUN_CACHE_MEMORY_HITS: AtomicU64 = AtomicU64::new(0);
+static RUN_CACHE_DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static RUN_CACHE_REPLAYS: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide persistent store behind [`cached_run`], if one is
+/// configured (`--cache-dir`, `G10_CACHE_DIR`).
+static RUN_STORE: Mutex<Option<Arc<RunStore>>> = Mutex::new(None);
+
+/// Installs (or, with `None`, removes) the persistent on-disk store that
+/// [`cached_run`] consults before replaying a cell.  The in-memory cell map
+/// always sits in front of it, so each cell touches disk at most once per
+/// process.
+pub fn set_run_store(store: Option<RunStore>) {
+    *RUN_STORE.lock().expect("run store lock poisoned") = store.map(Arc::new);
+}
+
+/// The currently installed persistent store, if any.
+pub fn run_store() -> Option<Arc<RunStore>> {
+    RUN_STORE.lock().expect("run store lock poisoned").clone()
+}
 
 /// Memoized simulation cells, deduplicating the experiment grid.
 ///
@@ -70,51 +89,149 @@ static RUN_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 /// end-to-end runs reappear as Figure 19's error-free baseline and as the
 /// eval-batch rows of Figure 15's sweep.  Each distinct cell replays once;
 /// repeats are served from the cache (`Arc`-shared, per-cell once-init like
-/// [`workload`]).  Only replays of the workload's own trace under default
-/// runtime options go through here — the perturbed-trace runs of Figure 19
-/// are not cacheable by this key and call the runner directly.
+/// [`workload`]).  When a persistent store is installed
+/// ([`set_run_store`]), the first touch of a cell consults disk before
+/// replaying and persists what it replays, so *fresh processes* are served
+/// too — the three outcomes are tallied in [`run_cache_stats`].  Only
+/// replays of the workload's own trace under default runtime options go
+/// through here — the perturbed-trace runs of Figure 19 are not cacheable
+/// by this key and call the runner directly.
 pub fn cached_run(
     model: ModelKind,
     batch: u64,
     policy: PolicyKind,
     config: &SystemConfig,
 ) -> Arc<SimReport> {
-    type RunKey = (ModelKind, u64, PolicyKind, ConfigKey);
-    type RunCache = Mutex<HashMap<RunKey, CellSlot<Arc<SimReport>>>>;
+    type CellKey = (ModelKind, u64, PolicyKind, ConfigKey);
+    type RunCache = Mutex<HashMap<CellKey, CellSlot<Arc<SimReport>>>>;
     static CACHE: OnceLock<RunCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (model, batch, policy, config.cache_key());
     let slot = cell_slot(cache, &key);
-    let mut fresh = false;
+    // `None` after get_or_init means another thread initialised the slot —
+    // an in-memory hit.
+    let mut first_touch: Option<&AtomicU64> = None;
     let report = slot.get_or_init(|| {
-        fresh = true;
+        let store = run_store();
+        let store_key = RunKey {
+            model: model.name().to_string(),
+            batch,
+            policy: policy.label().to_string(),
+            config: config.cache_key(),
+        };
+        if let Some(store) = &store {
+            if let Some(report) = store.load(&store_key) {
+                first_touch = Some(&RUN_CACHE_DISK_HITS);
+                return Arc::new(report);
+            }
+        }
+        first_touch = Some(&RUN_CACHE_REPLAYS);
         let report = Experiment::new(&workload(model, batch))
             .policy(policy)
             .config(*config)
             .run()
             .expect("built-in policies always resolve");
+        if let Some(store) = &store {
+            if let Err(err) = store.save(&store_key, &report) {
+                eprintln!(
+                    "warning: could not persist run-cache entry {}: {err}",
+                    store.entry_path(&store_key).display()
+                );
+            }
+        }
         Arc::new(report)
     });
-    if fresh {
-        RUN_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
-    } else {
-        RUN_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
-    }
+    first_touch
+        .unwrap_or(&RUN_CACHE_MEMORY_HITS)
+        .fetch_add(1, Ordering::Relaxed);
     report.clone()
 }
 
-/// `(cells_replayed, cells_served_from_cache)` across every driver so far —
-/// the `experiments all` run logs these so grid deduplication stays
-/// visible.
-pub fn run_cache_stats() -> (u64, u64) {
-    (
-        RUN_CACHE_MISSES.load(Ordering::Relaxed),
-        RUN_CACHE_HITS.load(Ordering::Relaxed),
-    )
+/// Cumulative [`cached_run`] outcome counters — see [`run_cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunCacheStats {
+    /// Cells actually simulated (in-memory and disk caches both missed).
+    pub replayed: u64,
+    /// Lookups served by this process's in-memory cell map.
+    pub memory_hits: u64,
+    /// First touches served from the persistent on-disk store.
+    pub disk_hits: u64,
+}
+
+impl RunCacheStats {
+    /// Total `cached_run` lookups.
+    pub fn total(&self) -> u64 {
+        self.replayed + self.memory_hits + self.disk_hits
+    }
+
+    /// Counter-wise difference vs an earlier snapshot of the stats.
+    pub fn since(&self, earlier: &RunCacheStats) -> RunCacheStats {
+        RunCacheStats {
+            replayed: self.replayed - earlier.replayed,
+            memory_hits: self.memory_hits - earlier.memory_hits,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+        }
+    }
+
+    /// The one-line summary the `experiments` binary prints.
+    pub fn summary(&self) -> String {
+        format!(
+            "simulation cells: {} replayed, {} memory hits, {} disk hits",
+            self.replayed, self.memory_hits, self.disk_hits
+        )
+    }
+}
+
+/// Three-way [`cached_run`] outcome tally across every driver so far —
+/// the `experiments` binary logs these so both grid deduplication (memory
+/// hits) and cross-process reuse (disk hits) stay visible.
+pub fn run_cache_stats() -> RunCacheStats {
+    RunCacheStats {
+        replayed: RUN_CACHE_REPLAYS.load(Ordering::Relaxed),
+        memory_hits: RUN_CACHE_MEMORY_HITS.load(Ordering::Relaxed),
+        disk_hits: RUN_CACHE_DISK_HITS.load(Ordering::Relaxed),
+    }
 }
 
 fn pct(x: f64) -> String {
     format!("{:.1}", x * 100.0)
+}
+
+/// One lazy figure driver from [`figure_set`]: call it (once) to replay
+/// the figure's cells and get its tables.
+pub type FigureDriver = Box<dyn FnOnce() -> Vec<Table>>;
+
+/// The full evaluation grid as named lazy drivers, in presentation order.
+///
+/// Shared by the `experiments all` command and the perf-trajectory
+/// snapshot so "the grid" means the same cell set everywhere.  Multi-table
+/// figures (2 and 4) yield one table per model; the Figure 11–14 +
+/// lifetime drivers share one [`EndToEndRuns::collect`] through a lazy
+/// slot, exactly as the binary always ran them.
+pub fn figure_set() -> Vec<(&'static str, FigureDriver)> {
+    let shared: Arc<OnceLock<EndToEndRuns>> = Arc::new(OnceLock::new());
+    let end_to_end = |f: fn(&EndToEndRuns) -> Table| {
+        let shared = Arc::clone(&shared);
+        Box::new(move || vec![f(shared.get_or_init(EndToEndRuns::collect))])
+            as Box<dyn FnOnce() -> Vec<Table>>
+    };
+    vec![
+        ("table1", Box::new(|| vec![table1()])),
+        ("table2", Box::new(|| vec![table2()])),
+        ("fig2", Box::new(fig2)),
+        ("fig3", Box::new(|| vec![fig3()])),
+        ("fig4", Box::new(fig4)),
+        ("fig11", end_to_end(fig11)),
+        ("fig12", end_to_end(fig12)),
+        ("fig13", end_to_end(fig13)),
+        ("fig14", end_to_end(fig14)),
+        ("lifetime", end_to_end(lifetime)),
+        ("fig15", Box::new(|| vec![fig15()])),
+        ("fig16", Box::new(|| vec![fig16()])),
+        ("fig17", Box::new(|| vec![fig17()])),
+        ("fig18", Box::new(|| vec![fig18()])),
+        ("fig19", Box::new(|| vec![fig19()])),
+    ]
 }
 
 // ---------------------------------------------------------------------------
@@ -129,7 +246,11 @@ fn pct(x: f64) -> String {
 ///
 /// Policy names resolve through [`PolicySpec`] parsing; an unknown name
 /// fails the whole run with a [`SimError::UnknownPolicy`] that lists every
-/// registered policy.
+/// registered policy.  Built-in policies route through [`cached_run`], so
+/// free-form runs populate — and are served by — the same in-memory and
+/// persistent caches as the figure grid; custom registered policies replay
+/// directly (their semantics are process-local, so persisting them by name
+/// would be unsound across processes).
 pub fn custom_run(
     model: ModelKind,
     batch: u64,
@@ -141,7 +262,16 @@ pub fn custom_run(
         .map(|name| name.parse())
         .collect::<Result<_, _>>()?;
     let workload = workload(model, batch);
-    let reports = Experiment::new(&workload).config(*config).policies(specs)?;
+    let reports: Vec<Arc<SimReport>> = parallel_map(specs, |spec| match spec {
+        PolicySpec::Builtin(kind) => Ok(cached_run(model, batch, *kind, config)),
+        named => Experiment::new(&workload)
+            .config(*config)
+            .policy(named.clone())
+            .run()
+            .map(Arc::new),
+    })
+    .into_iter()
+    .collect::<Result<_, SimError>>()?;
     let mut table = Table::new(
         format!("Custom run: {}-{batch}", model.name()),
         &[
@@ -825,17 +955,20 @@ mod tests {
         // A GPU capacity no other test or driver uses, so this cell is
         // exclusively ours regardless of test interleaving.
         let config = SystemConfig::table2().with_gpu_memory(48 << 20);
-        let (replayed_before, _) = run_cache_stats();
+        let before = run_cache_stats();
         let first = cached_run(ModelKind::TinyCnn, 16, PolicyKind::BaseUvm, &config);
         let second = cached_run(ModelKind::TinyCnn, 16, PolicyKind::BaseUvm, &config);
         assert_eq!(first, second, "cache must replay the identical report");
-        let (replayed_after, cached_after) = run_cache_stats();
+        let delta = run_cache_stats().since(&before);
         assert_eq!(
-            replayed_after - replayed_before,
-            1,
+            delta.replayed, 1,
             "the second lookup must be served from the cache"
         );
-        assert!(cached_after >= 1);
+        assert!(delta.memory_hits >= 1);
+        assert_eq!(
+            delta.disk_hits, 0,
+            "no persistent store is installed in unit tests"
+        );
         // A different hardware fingerprint is a different cell.
         let other = cached_run(
             ModelKind::TinyCnn,

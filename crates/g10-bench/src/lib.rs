@@ -1,9 +1,14 @@
 //! Shared helpers for the G10 benchmark harness: experiment drivers used by
-//! both the `experiments` binary and the criterion benches, plus simple
-//! table / CSV output.
+//! both the `experiments` binary and the criterion benches, the persistent
+//! on-disk run-cache store, the perf-trajectory snapshot harness, and
+//! simple table / CSV / JSON output.
 
 pub mod experiments;
+pub mod json;
 pub mod output;
+pub mod store;
+pub mod trajectory;
 pub mod workload_pipeline;
 
 pub use output::{write_csv, Table};
+pub use store::{RunKey, RunStore};

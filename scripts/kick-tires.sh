@@ -34,4 +34,34 @@ test -s "$OUT_DIR/table2.csv" || {
 }
 head -n 3 "$OUT_DIR/table2.csv"
 
+# Persistent run cache: a cold pass populates the on-disk store, then a
+# second, fresh process must serve every cell from disk — no replays —
+# with byte-identical CSV output.
+CACHE_DIR="$OUT_DIR/cache"
+RUN_ARGS=(run --model tinycnn --batch 16 --policy base-uvm,deepum+,g10)
+
+step "persistent cache: cold pass (populates $CACHE_DIR)"
+cargo run "$PROFILE_FLAG" -p g10-bench --bin experiments -- \
+    "${RUN_ARGS[@]}" --cache-dir "$CACHE_DIR" --out "$OUT_DIR/pass1" \
+    | tee "$OUT_DIR/pass1.log"
+
+step "persistent cache: warm pass (fresh process, same store)"
+cargo run "$PROFILE_FLAG" -p g10-bench --bin experiments -- \
+    "${RUN_ARGS[@]}" --cache-dir "$CACHE_DIR" --out "$OUT_DIR/pass2" \
+    | tee "$OUT_DIR/pass2.log"
+
+step "verifying disk-cache hits and byte-identical output"
+grep -q 'simulation cells: 0 replayed' "$OUT_DIR/pass2.log" || {
+    echo "error: warm pass replayed cells instead of hitting the store" >&2
+    exit 1
+}
+grep 'simulation cells:' "$OUT_DIR/pass2.log" | grep -vq ' 0 disk hits' || {
+    echo "error: warm pass reported zero disk hits" >&2
+    exit 1
+}
+cmp "$OUT_DIR/pass1/run_TinyCNN_16.csv" "$OUT_DIR/pass2/run_TinyCNN_16.csv" || {
+    echo "error: disk-served CSV differs from the replayed one" >&2
+    exit 1
+}
+
 printf '\nkick-tires: all steps passed.\n'
