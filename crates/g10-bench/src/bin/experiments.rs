@@ -46,6 +46,7 @@ use g10_bench::store::RunStore;
 use g10_bench::trajectory::{self, CompareOptions, SnapshotMode};
 use g10_core::config::SystemConfig;
 use g10_dnn::models::ModelKind;
+use g10_sim::{FaultPlan, OnPolicyFault, PolicySpec, RuntimeOptions};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -86,6 +87,13 @@ struct Flags {
     full: bool,
     min_speedup_ratio: Option<f64>,
     max_wall_ratio: Option<f64>,
+    /// Deterministic fault injection (`--inject-fault <step>:<kind>`):
+    /// exercises the typed fault and degradation paths from the CLI.
+    inject_fault: Option<FaultPlan>,
+    /// Fault handling (`--on-fault <fail|policy-name>`): fail the run
+    /// (default) or quarantine the faulting policy and re-run the cell
+    /// under the named fallback design.
+    on_fault: Option<String>,
 }
 
 /// The `run` command: one (model, batch) cell under any list of policy
@@ -108,12 +116,35 @@ fn custom_run(flags: &Flags, out_dir: &Path) -> Result<(), String> {
     if policies.is_empty() {
         return Err("--policy needs at least one policy name".to_string());
     }
+    if batch == 0 {
+        return Err("--batch must be at least 1".to_string());
+    }
     let mut config = SystemConfig::table2();
     if let Some(gpu_mib) = flags.gpu_mib {
+        // `mib << 20` must not overflow the byte count.
+        if gpu_mib == 0 || gpu_mib > (u64::MAX >> 20) {
+            return Err(format!(
+                "--gpu-mib must be between 1 and {} MiB",
+                u64::MAX >> 20
+            ));
+        }
         config = config.with_gpu_memory(gpu_mib << 20);
     }
-    let table =
-        experiments::custom_run(model, batch, &policies, &config).map_err(|err| err.to_string())?;
+    let mut options = RuntimeOptions::default();
+    if let Some(plan) = flags.inject_fault {
+        options.fault_plan = Some(plan);
+    }
+    match flags.on_fault.as_deref() {
+        None | Some("fail") => {}
+        Some(fallback) => {
+            let spec: PolicySpec = fallback
+                .parse()
+                .map_err(|err| format!("--on-fault: {err}"))?;
+            options.on_policy_fault = OnPolicyFault::FallbackTo(spec);
+        }
+    }
+    let table = experiments::custom_run_with_options(model, batch, &policies, &config, &options)
+        .map_err(|err| err.to_string())?;
     emit(&table, out_dir, &format!("run_{}_{batch}", model.name()));
     Ok(())
 }
@@ -272,6 +303,24 @@ fn main() -> ExitCode {
             },
             "--no-cache" => flags.no_cache = true,
             "--full" => flags.full = true,
+            "--inject-fault" => match iter.next().map(|plan| plan.parse::<FaultPlan>()) {
+                Some(Ok(plan)) => flags.inject_fault = Some(plan),
+                Some(Err(err)) => {
+                    eprintln!("error: --inject-fault: {err}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!("error: --inject-fault needs a <step>:<kind> argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--on-fault" => match iter.next() {
+                Some(mode) => flags.on_fault = Some(mode.clone()),
+                None => {
+                    eprintln!("error: --on-fault needs `fail` or a fallback policy name");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--min-speedup-ratio" => match iter.next().map(|v| v.parse::<f64>()) {
                 Some(Ok(ratio)) => flags.min_speedup_ratio = Some(ratio),
                 _ => {

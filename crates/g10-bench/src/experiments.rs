@@ -11,7 +11,10 @@ use g10_core::config::SystemConfig;
 use g10_dnn::models::ModelKind;
 use g10_dnn::stats::{fraction_longer_than, inactive_periods, memory_consumption};
 use g10_sim::metrics::SimReport;
-use g10_sim::{parallel_map, Experiment, PolicyKind, PolicySpec, SimError, Workload};
+use g10_sim::{
+    parallel_map, Experiment, OnPolicyFault, PolicyKind, PolicySpec, RuntimeOptions, SimError,
+    Validate, Workload,
+};
 use g10_ssd::EnduranceModel;
 use g10_time::Nanos;
 use std::collections::HashMap;
@@ -257,16 +260,43 @@ pub fn custom_run(
     policy_names: &[String],
     config: &SystemConfig,
 ) -> Result<Table, SimError> {
+    custom_run_with_options(
+        model,
+        batch,
+        policy_names,
+        config,
+        &RuntimeOptions::default(),
+    )
+}
+
+/// [`custom_run`] with explicit [`RuntimeOptions`] — the driver behind the
+/// CLI's hardening flags (`--inject-fault`, `--on-fault`).
+///
+/// Hardened options (a fault plan, fallback degradation, or a forced
+/// invariant audit) bypass both run caches: their reports are not the
+/// cell's canonical result, so serving or persisting them through
+/// [`cached_run`]'s default-options key would poison the grid.
+pub fn custom_run_with_options(
+    model: ModelKind,
+    batch: u64,
+    policy_names: &[String],
+    config: &SystemConfig,
+    options: &RuntimeOptions,
+) -> Result<Table, SimError> {
+    let hardened = options.fault_plan.is_some()
+        || !matches!(options.on_policy_fault, OnPolicyFault::Fail)
+        || matches!(options.validate, Validate::Always);
     let specs: Vec<PolicySpec> = policy_names
         .iter()
         .map(|name| name.parse())
         .collect::<Result<_, _>>()?;
     let workload = workload(model, batch);
     let reports: Vec<Arc<SimReport>> = parallel_map(specs, |spec| match spec {
-        PolicySpec::Builtin(kind) => Ok(cached_run(model, batch, *kind, config)),
-        named => Experiment::new(&workload)
+        PolicySpec::Builtin(kind) if !hardened => Ok(cached_run(model, batch, *kind, config)),
+        spec => Experiment::new(&workload)
             .config(*config)
-            .policy(named.clone())
+            .policy(spec.clone())
+            .options(options.clone())
             .run()
             .map(Arc::new),
     })
@@ -284,6 +314,7 @@ pub fn custom_run(
             "ssd_gb",
             "host_gb",
             "faults",
+            "policy_fault",
         ],
     );
     for report in &reports {
@@ -297,6 +328,15 @@ pub fn custom_run(
             format!("{:.1}", report.traffic.ssd_total() as f64 / GB),
             format!("{:.1}", report.traffic.host_total() as f64 / GB),
             report.fault_count.to_string(),
+            match &report.policy_fault {
+                Some(record) => format!(
+                    "{}@{} in `{}`",
+                    record.kind.tag(),
+                    record.step,
+                    record.policy
+                ),
+                None => "-".to_string(),
+            },
         ]);
     }
     Ok(table)

@@ -27,7 +27,7 @@
 //!   the entry layout *or* simulator behaviour changes (a golden-report
 //!   re-bless is the signal); stale entries then miss cleanly.
 
-use g10_sim::SimReport;
+use g10_sim::{FaultRecord, PolicyFaultKind, SimReport};
 use g10_time::Nanos;
 use g10_uvm::TrafficStats;
 use std::path::{Path, PathBuf};
@@ -40,7 +40,10 @@ pub const MAGIC: &[u8; 8] = b"G10RUNS\n";
 /// Layout + behaviour version of store entries.  Bump on any change to the
 /// encoding below **or** to simulator output (see the golden-report
 /// snapshots); old entries are then ignored rather than misread.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `SimReport` gained the `policy_fault` field (fallback-degradation
+/// provenance), appended to the entry payload.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// File extension of store entries.
 pub const ENTRY_EXTENSION: &str = "g10run";
@@ -235,9 +238,114 @@ pub fn encode_entry(key: &RunKey, report: &SimReport) -> Vec<u8> {
     }
     out.push(report.oversubscribed as u8);
     out.push(report.working_set_exceeds_gpu as u8);
+    match &report.policy_fault {
+        None => out.push(0),
+        Some(fault) => {
+            out.push(1);
+            encode_fault(&mut out, fault);
+        }
+    }
     let sum = checksum(&out);
     out.extend_from_slice(&sum.to_le_bytes());
     out
+}
+
+/// Serialises a fallback-degradation fault record: the quarantined policy,
+/// the faulting step, the fault kind's stable tag, and the kind's payload
+/// fields (strings length-prefixed, integers little-endian).
+fn encode_fault(out: &mut Vec<u8>, fault: &FaultRecord) {
+    push_str(out, &fault.policy);
+    out.extend_from_slice(&(fault.step as u64).to_le_bytes());
+    push_str(out, fault.kind.tag());
+    match &fault.kind {
+        PolicyFaultKind::BuildPanic { message } | PolicyFaultKind::StepPanic { message } => {
+            push_str(out, message);
+        }
+        PolicyFaultKind::TensorOutOfRange { tensor, universe } => {
+            out.extend_from_slice(&(*tensor as u64).to_le_bytes());
+            out.extend_from_slice(&(*universe as u64).to_le_bytes());
+        }
+        PolicyFaultKind::EvictNonResident { tensor }
+        | PolicyFaultKind::PrefetchResident { tensor } => {
+            out.extend_from_slice(&(*tensor as u64).to_le_bytes());
+        }
+        PolicyFaultKind::CapacityExceeded {
+            used_bytes,
+            allowed_bytes,
+        } => {
+            out.extend_from_slice(&used_bytes.to_le_bytes());
+            out.extend_from_slice(&allowed_bytes.to_le_bytes());
+        }
+        PolicyFaultKind::LedgerCorrupt {
+            ledger_bytes,
+            prefix_bytes,
+        } => {
+            out.extend_from_slice(&ledger_bytes.to_le_bytes());
+            out.extend_from_slice(&prefix_bytes.to_le_bytes());
+        }
+        PolicyFaultKind::TimeRegression { from, to } => {
+            out.extend_from_slice(&from.as_nanos().to_le_bytes());
+            out.extend_from_slice(&to.as_nanos().to_le_bytes());
+        }
+        PolicyFaultKind::NonFiniteSlowdown { kernel } => {
+            out.extend_from_slice(&(*kernel as u64).to_le_bytes());
+        }
+        PolicyFaultKind::ResidencyDesync {
+            tracked_bytes,
+            allocated_bytes,
+        } => {
+            out.extend_from_slice(&tracked_bytes.to_le_bytes());
+            out.extend_from_slice(&allocated_bytes.to_le_bytes());
+        }
+        // `PolicyFaultKind` is non-exhaustive; a kind this build does not
+        // know cannot be constructed by it either.
+        _ => unreachable!("unencodable policy fault kind"),
+    }
+}
+
+fn decode_fault(r: &mut Reader<'_>) -> Option<FaultRecord> {
+    let policy = r.str()?.to_string();
+    let step = r.u64()? as usize;
+    let tag = r.str()?.to_string();
+    let kind = match tag.as_str() {
+        "build-panic" => PolicyFaultKind::BuildPanic {
+            message: r.str()?.to_string(),
+        },
+        "step-panic" => PolicyFaultKind::StepPanic {
+            message: r.str()?.to_string(),
+        },
+        "tensor-out-of-range" => PolicyFaultKind::TensorOutOfRange {
+            tensor: u32::try_from(r.u64()?).ok()?,
+            universe: r.u64()? as usize,
+        },
+        "evict-non-resident" => PolicyFaultKind::EvictNonResident {
+            tensor: u32::try_from(r.u64()?).ok()?,
+        },
+        "prefetch-resident" => PolicyFaultKind::PrefetchResident {
+            tensor: u32::try_from(r.u64()?).ok()?,
+        },
+        "capacity-exceeded" => PolicyFaultKind::CapacityExceeded {
+            used_bytes: r.u64()?,
+            allowed_bytes: r.u64()?,
+        },
+        "ledger-corrupt" => PolicyFaultKind::LedgerCorrupt {
+            ledger_bytes: r.u64()?,
+            prefix_bytes: r.u64()?,
+        },
+        "time-regression" => PolicyFaultKind::TimeRegression {
+            from: Nanos::from_nanos(r.u64()?),
+            to: Nanos::from_nanos(r.u64()?),
+        },
+        "non-finite-slowdown" => PolicyFaultKind::NonFiniteSlowdown {
+            kernel: r.u64()? as usize,
+        },
+        "residency-desync" => PolicyFaultKind::ResidencyDesync {
+            tracked_bytes: r.u64()?,
+            allocated_bytes: r.u64()?,
+        },
+        _ => return None,
+    };
+    Some(FaultRecord { policy, step, kind })
 }
 
 /// Decodes one entry, verifying magic, schema version, checksum, key echo
@@ -299,6 +407,10 @@ pub fn decode_entry(bytes: &[u8], key: &RunKey) -> Option<SimReport> {
         evictions_issued: r.u64()?,
         oversubscribed: r.bool()?,
         working_set_exceeds_gpu: r.bool()?,
+        policy_fault: match r.bool()? {
+            false => None,
+            true => Some(decode_fault(&mut r)?),
+        },
     };
     // Exactly consumed: trailing bytes mean a layout drift.
     if !r.bytes.is_empty() {

@@ -6,7 +6,7 @@
 //! partial entry to readers.
 
 use g10_bench::store::{checksum, decode_entry, encode_entry, RunKey, RunStore, SCHEMA_VERSION};
-use g10_sim::SimReport;
+use g10_sim::{FaultRecord, PolicyFaultKind, SimReport};
 use g10_time::Nanos;
 use g10_uvm::TrafficStats;
 use std::fs;
@@ -51,7 +51,70 @@ fn sample_report() -> SimReport {
         evictions_issued: 8,
         oversubscribed: true,
         working_set_exceeds_gpu: false,
+        // A fallback-degradation record, so every corruption sweep below
+        // also covers the fault encoding.
+        policy_fault: Some(FaultRecord {
+            policy: "hostile-policy".to_string(),
+            step: 3,
+            kind: PolicyFaultKind::CapacityExceeded {
+                used_bytes: 777,
+                allowed_bytes: 555,
+            },
+        }),
     }
+}
+
+/// Every fault kind round-trips through the entry encoding bit-exactly.
+#[test]
+fn every_fault_kind_roundtrips() {
+    let key = sample_key();
+    let kinds = [
+        PolicyFaultKind::BuildPanic {
+            message: "boom".to_string(),
+        },
+        PolicyFaultKind::StepPanic {
+            message: "mid-run boom".to_string(),
+        },
+        PolicyFaultKind::TensorOutOfRange {
+            tensor: 99,
+            universe: 12,
+        },
+        PolicyFaultKind::EvictNonResident { tensor: 4 },
+        PolicyFaultKind::PrefetchResident { tensor: 5 },
+        PolicyFaultKind::CapacityExceeded {
+            used_bytes: 10,
+            allowed_bytes: 9,
+        },
+        PolicyFaultKind::LedgerCorrupt {
+            ledger_bytes: 1,
+            prefix_bytes: 2,
+        },
+        PolicyFaultKind::TimeRegression {
+            from: Nanos::from_nanos(7),
+            to: Nanos::from_nanos(3),
+        },
+        PolicyFaultKind::NonFiniteSlowdown { kernel: 6 },
+        PolicyFaultKind::ResidencyDesync {
+            tracked_bytes: 8,
+            allocated_bytes: 9,
+        },
+    ];
+    for kind in kinds {
+        let mut report = sample_report();
+        report.policy_fault = Some(FaultRecord {
+            policy: "adversary".to_string(),
+            step: 41,
+            kind,
+        });
+        let bytes = encode_entry(&key, &report);
+        let loaded = decode_entry(&bytes, &key).expect("fault entry must decode");
+        assert_eq!(loaded, report);
+    }
+    // And the clean-run case.
+    let mut report = sample_report();
+    report.policy_fault = None;
+    let bytes = encode_entry(&key, &report);
+    assert_eq!(decode_entry(&bytes, &key), Some(report));
 }
 
 #[test]

@@ -11,6 +11,11 @@
 //! bandwidth contention shows up as later completion times and therefore as
 //! kernel stalls.
 
+use crate::fault::{
+    catch_policy_panic, FaultPlan, FaultRecord, InjectedFault, OnPolicyFault, PolicyFaultKind,
+    Validate,
+};
+use crate::guard::{AuditView, InvariantGuard};
 use crate::metrics::SimReport;
 use crate::policy::MemoryPolicy;
 use crate::victim::VictimIndex;
@@ -20,6 +25,7 @@ use g10_dnn::tensor::TensorId;
 use g10_dnn::trace::KernelTrace;
 use g10_time::Nanos;
 use g10_uvm::{MemKind, UnifiedMemory, UnifiedMemoryConfig};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// A fixed-universe bitset over tensor indices: O(1) insert/remove and
@@ -42,6 +48,10 @@ impl ResidentSet {
 
     fn remove(&mut self, idx: usize) {
         self.words[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    fn contains(&self, idx: usize) -> bool {
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
     }
 
     /// Iterates set indices in increasing order.
@@ -73,17 +83,6 @@ pub enum Location {
     Ssd,
 }
 
-impl Location {
-    fn mem_kind(self) -> Option<MemKind> {
-        match self {
-            Location::Gpu => Some(MemKind::Gpu),
-            Location::Host => Some(MemKind::Host),
-            Location::Ssd => Some(MemKind::Flash),
-            Location::Unallocated => None,
-        }
-    }
-}
-
 /// How the engine picks eviction victims for the LRU / largest-victim
 /// selection helpers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,7 +100,7 @@ pub enum VictimSelection {
 }
 
 /// Extra runtime knobs that differ between the compared designs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RuntimeOptions {
     /// Override the GPU capacity (the Ideal baseline uses an effectively
     /// infinite capacity).
@@ -113,6 +112,17 @@ pub struct RuntimeOptions {
     /// Victim-selection implementation (indexed by default; the naive scan
     /// is for reference runs and benchmarks).
     pub victim_selection: VictimSelection,
+    /// When the per-step [`crate::guard::InvariantGuard`] bookkeeping audit
+    /// runs (debug-only by default; cheap per-action checks are always on).
+    pub validate: Validate,
+    /// What a session does with a cell whose policy faults: fail it with
+    /// [`crate::session::SimError::PolicyFault`] (the default), or re-run
+    /// it under a fallback design with the fault recorded on the report.
+    pub on_policy_fault: OnPolicyFault,
+    /// Deterministic fault injection for exercising the degradation paths.
+    /// Installing a plan forces the invariant audit on in every build
+    /// profile, so injected faults are always caught.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl RuntimeOptions {
@@ -131,6 +141,9 @@ impl Default for RuntimeOptions {
             gpu_capacity_override: None,
             software_overhead_per_batch: Nanos::ZERO,
             victim_selection: VictimSelection::Indexed,
+            validate: Validate::DebugOnly,
+            on_policy_fault: OnPolicyFault::Fail,
+            fault_plan: None,
         }
     }
 }
@@ -175,6 +188,12 @@ pub struct EngineState {
     prefetches_dropped: u64,
     evictions_issued: u64,
     oversubscribed: bool,
+    /// Kernel index of the step in progress, for fault attribution.
+    current_kernel: usize,
+    /// First policy fault flagged this run, `(step, kind)`.  Interior
+    /// mutability so the `&self` accessors can flag out-of-range tensor
+    /// ids too.
+    fault: RefCell<Option<(usize, PolicyFaultKind)>>,
 }
 
 impl EngineState {
@@ -183,19 +202,56 @@ impl EngineState {
         self.now
     }
 
-    /// Size of a tensor in bytes.
+    /// Records a policy fault at the current kernel step.  The first fault
+    /// wins; later ones are dropped (the run aborts at the step boundary).
+    fn flag_fault(&self, kind: PolicyFaultKind) {
+        let mut fault = self.fault.borrow_mut();
+        if fault.is_none() {
+            *fault = Some((self.current_kernel, kind));
+        }
+    }
+
+    /// Range-checks a policy-supplied tensor id, flagging
+    /// [`PolicyFaultKind::TensorOutOfRange`] when it falls outside the
+    /// graph's tensor universe.
+    fn tensor_in_range(&self, tensor: TensorId) -> bool {
+        let idx = tensor.index();
+        if idx < self.tensors.len() {
+            true
+        } else {
+            self.flag_fault(PolicyFaultKind::TensorOutOfRange {
+                tensor: idx as u32,
+                universe: self.tensors.len(),
+            });
+            false
+        }
+    }
+
+    /// Size of a tensor in bytes.  An out-of-range id is flagged as a
+    /// policy fault and reads as zero bytes.
     pub fn bytes_of(&self, tensor: TensorId) -> u64 {
+        if !self.tensor_in_range(tensor) {
+            return 0;
+        }
         self.tensors[tensor.index()].bytes
     }
 
-    /// Where the tensor currently lives.
+    /// Where the tensor currently lives.  An out-of-range id is flagged as
+    /// a policy fault and reads as [`Location::Unallocated`].
     pub fn location(&self, tensor: TensorId) -> Location {
+        if !self.tensor_in_range(tensor) {
+            return Location::Unallocated;
+        }
         self.tensors[tensor.index()].location
     }
 
     /// Returns `true` if the tensor is resident in GPU memory or already on
-    /// its way there.
+    /// its way there.  An out-of-range id is flagged as a policy fault and
+    /// reads as non-resident.
     pub fn is_resident_or_inbound(&self, tensor: TensorId) -> bool {
+        if !self.tensor_in_range(tensor) {
+            return false;
+        }
         let t = &self.tensors[tensor.index()];
         t.location == Location::Gpu || t.inbound_ready.is_some()
     }
@@ -305,6 +361,9 @@ impl EngineState {
     /// `false` (and does nothing) if the tensor is already resident or in
     /// flight, is not allocated anywhere, or GPU memory has no room for it.
     pub fn request_prefetch(&mut self, tensor: TensorId) -> bool {
+        if !self.tensor_in_range(tensor) {
+            return false;
+        }
         let idx = tensor.index();
         let (bytes, location) = (self.tensors[idx].bytes, self.tensors[idx].location);
         if self.tensors[idx].inbound_ready.is_some() {
@@ -335,6 +394,9 @@ impl EngineState {
     /// the transfer completes.  Returns `false` if the tensor is not an
     /// evictable resident, or the destination is invalid.
     pub fn request_evict(&mut self, tensor: TensorId, destination: Location) -> bool {
+        if !self.tensor_in_range(tensor) {
+            return false;
+        }
         let idx = tensor.index();
         if self.tensors[idx].location != Location::Gpu
             || self.tensors[idx].inbound_ready.is_some()
@@ -349,9 +411,11 @@ impl EngineState {
             Location::Host | Location::Ssd => Location::Ssd,
             Location::Gpu | Location::Unallocated => return false,
         };
-        let kind = destination
-            .mem_kind()
-            .expect("eviction destination is physical");
+        // `destination` can only be Host or Ssd at this point.
+        let kind = match destination {
+            Location::Host => MemKind::Host,
+            _ => MemKind::Flash,
+        };
         let now = self.now;
         let completion = self.uvm.transfer_from_gpu(bytes, kind, now);
         *self.pending_gpu_free.entry(completion).or_insert(0) += bytes;
@@ -370,6 +434,9 @@ impl EngineState {
         tensor: TensorId,
         mut select_victim: impl FnMut(&EngineState) -> Option<(TensorId, Location)>,
     ) -> bool {
+        if !self.tensor_in_range(tensor) {
+            return false;
+        }
         let idx = tensor.index();
         if self.tensors[idx].inbound_ready.is_some() {
             return false;
@@ -412,6 +479,81 @@ impl EngineState {
         self.tensors[idx].inbound_ready = Some(completion);
         self.prefetches_issued += 1;
         true
+    }
+
+    /// Like [`EngineState::request_prefetch`], but an illegal request —
+    /// prefetching a tensor that is already resident or inbound — is
+    /// flagged as a [`PolicyFaultKind::PrefetchResident`] policy fault
+    /// instead of being tolerated.  Built-in designs use the graceful API
+    /// (re-requesting a maybe-resident tensor is part of their contract);
+    /// hardened custom policies and the fault-injection hook use this one.
+    pub fn request_prefetch_strict(&mut self, tensor: TensorId) -> bool {
+        if !self.tensor_in_range(tensor) {
+            return false;
+        }
+        let t = &self.tensors[tensor.index()];
+        if t.location == Location::Gpu || t.inbound_ready.is_some() {
+            self.flag_fault(PolicyFaultKind::PrefetchResident {
+                tensor: tensor.index() as u32,
+            });
+            return false;
+        }
+        self.request_prefetch(tensor)
+    }
+
+    /// Like [`EngineState::request_evict`], but an illegal request —
+    /// evicting a tensor that is not an evictable GPU resident (not
+    /// resident, in flight, or protected by the running kernel) — is
+    /// flagged as an [`PolicyFaultKind::EvictNonResident`] policy fault
+    /// instead of being tolerated.
+    pub fn request_evict_strict(&mut self, tensor: TensorId, destination: Location) -> bool {
+        if !self.tensor_in_range(tensor) {
+            return false;
+        }
+        let idx = tensor.index();
+        if self.tensors[idx].location != Location::Gpu
+            || self.tensors[idx].inbound_ready.is_some()
+            || self.protected[idx]
+        {
+            self.flag_fault(PolicyFaultKind::EvictNonResident { tensor: idx as u32 });
+            return false;
+        }
+        self.request_evict(tensor, destination)
+    }
+
+    /// Assembles the bookkeeping snapshot the [`InvariantGuard`] audits:
+    /// one walk over the tensor table reconciling per-tensor locations, the
+    /// resident-set index, the pending-free ledger and the GPU allocator.
+    fn audit_view(&self) -> AuditView {
+        let mut tracked = 0u64;
+        let mut residents_by_location = 0usize;
+        let mut diverged = false;
+        for (idx, t) in self.tensors.iter().enumerate() {
+            if t.location == Location::Gpu {
+                tracked += t.bytes;
+                residents_by_location += 1;
+                if !self.resident_gpu.contains(idx) {
+                    diverged = true;
+                }
+            } else if t.inbound_ready.is_some() {
+                // In-flight arrival: the GPU space is already allocated.
+                tracked += t.bytes;
+            }
+        }
+        if self.resident_gpu.iter().count() != residents_by_location {
+            diverged = true;
+        }
+        AuditView {
+            now: self.now,
+            used_bytes: self.uvm.gpu().used_bytes(),
+            capacity_bytes: self.uvm.gpu().capacity_bytes(),
+            pending_ledger_bytes: self.pending_gpu_free.values().sum(),
+            pending_prefix_bytes: self.pending_gpu_free_bytes,
+            earliest_pending_due: self.pending_gpu_free.keys().next().copied(),
+            tracked_bytes: tracked + self.pending_gpu_free_bytes,
+            resident_index_diverged: diverged,
+            oversubscribed: self.oversubscribed,
+        }
     }
 
     /// Earliest time at which `needed` bytes of GPU memory will be free,
@@ -521,6 +663,11 @@ pub struct ReplayEngine<'a> {
     kernel_slowdowns: Vec<f64>,
     stall_time: Nanos,
     working_set_exceeds_gpu: bool,
+    /// Whether the per-step invariant audit runs (from
+    /// [`RuntimeOptions::validate`]; forced on by an installed fault plan).
+    validate_active: bool,
+    /// Deterministic fault injection, if any.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<'a> ReplayEngine<'a> {
@@ -612,6 +759,7 @@ impl<'a> ReplayEngine<'a> {
                 victims.insert(idx as u32, t.last_touch, t.bytes);
             }
         }
+        let validate_active = options.validate.is_active() || options.fault_plan.is_some();
         ReplayEngine {
             graph,
             trace,
@@ -630,6 +778,8 @@ impl<'a> ReplayEngine<'a> {
                 prefetches_dropped: 0,
                 evictions_issued: 0,
                 oversubscribed: false,
+                current_kernel: 0,
+                fault: RefCell::new(None),
             },
             policy,
             required_flat,
@@ -637,15 +787,157 @@ impl<'a> ReplayEngine<'a> {
             kernel_slowdowns: Vec::with_capacity(num_kernels),
             stall_time: Nanos::ZERO,
             working_set_exceeds_gpu,
+            validate_active,
+            fault_plan: options.fault_plan,
         }
     }
 
-    /// Replays the iteration and returns the report.
-    pub fn run(mut self) -> SimReport {
-        let n = self.graph.num_kernels();
-        for k in 0..n {
-            self.step(k);
+    /// Replays the iteration and returns the report, panicking on a policy
+    /// fault.  Legacy wrapper over [`ReplayEngine::try_run`] for callers
+    /// running trusted built-in policies.
+    pub fn run(self) -> SimReport {
+        match self.try_run() {
+            Ok(report) => report,
+            Err(fault) => panic!("{fault}"),
         }
+    }
+
+    /// Replays the iteration, validating every policy-issued action (and,
+    /// when the audit is active, the engine's own bookkeeping) each step.
+    /// Each step's policy hooks run under panic containment, so a hostile
+    /// or buggy policy yields a typed [`FaultRecord`] instead of unwinding
+    /// through the caller.  The run aborts at the first fault; the fault's
+    /// `policy` field carries the policy's self-reported name (sessions
+    /// rewrite it to the caller's spec string).
+    pub fn try_run(mut self) -> Result<SimReport, FaultRecord> {
+        let n = self.graph.num_kernels();
+        let mut guard = InvariantGuard::new();
+        for k in 0..n {
+            self.state.current_kernel = k;
+            let injected = self
+                .fault_plan
+                .and_then(|plan| (plan.step == k).then_some(plan.fault));
+            let stepped = catch_policy_panic(|| {
+                if let Some(fault) = injected {
+                    self.inject_before_step(fault, k);
+                }
+                self.step(k);
+            });
+            if let Err(message) = stepped {
+                return Err(self.fault_record(k, PolicyFaultKind::StepPanic { message }));
+            }
+            if let Some(fault) = injected {
+                self.inject_after_step(fault, k);
+            }
+            if self.validate_active {
+                let view = self.state.audit_view();
+                let last_slowdown = self.kernel_slowdowns.last().copied();
+                if let Some(kind) = guard.check_step(&view, last_slowdown, k) {
+                    self.state.flag_fault(kind);
+                }
+            }
+            if let Some((step, kind)) = self.state.fault.borrow_mut().take() {
+                return Err(self.fault_record(step, kind));
+            }
+        }
+        Ok(self.into_report())
+    }
+
+    fn fault_record(&self, step: usize, kind: PolicyFaultKind) -> FaultRecord {
+        FaultRecord {
+            policy: self.policy.name(),
+            step,
+            kind,
+        }
+    }
+
+    /// Injects the action-shaped faults (and the panic) that must fire
+    /// *inside* the contained step, through the same strict request paths a
+    /// hostile policy would hit.
+    fn inject_before_step(&mut self, fault: InjectedFault, k: usize) {
+        match fault {
+            InjectedFault::StepPanic => panic!("injected policy panic at step {k}"),
+            InjectedFault::TensorOutOfRange => {
+                let beyond = TensorId::new(self.graph.num_tensors() as u32);
+                self.state.request_prefetch(beyond);
+            }
+            InjectedFault::EvictNonResident => {
+                let victim = (0..self.state.tensors.len())
+                    .map(|idx| TensorId::new(idx as u32))
+                    .find(|t| self.state.tensors[t.index()].location != Location::Gpu);
+                match victim {
+                    Some(t) => {
+                        self.state.request_evict_strict(t, Location::Ssd);
+                    }
+                    // Everything resident: flag the illegal intent directly.
+                    None => self
+                        .state
+                        .flag_fault(PolicyFaultKind::EvictNonResident { tensor: u32::MAX }),
+                }
+            }
+            InjectedFault::PrefetchResident => {
+                let resident = (0..self.state.tensors.len())
+                    .map(|idx| TensorId::new(idx as u32))
+                    .find(|t| self.state.tensors[t.index()].location == Location::Gpu);
+                match resident {
+                    Some(t) => {
+                        self.state.request_prefetch_strict(t);
+                    }
+                    // Nothing resident yet: flag the illegal intent directly.
+                    None => self
+                        .state
+                        .flag_fault(PolicyFaultKind::PrefetchResident { tensor: u32::MAX }),
+                }
+            }
+            // Bookkeeping corruptions are applied after the step (the step
+            // would repair or overwrite them); BuildPanic is intercepted at
+            // the session layer before an engine exists.
+            _ => {}
+        }
+    }
+
+    /// Injects the bookkeeping-corruption faults after the step completes,
+    /// right before the invariant audit that must catch them.
+    fn inject_after_step(&mut self, fault: InjectedFault, _k: usize) {
+        match fault {
+            InjectedFault::CapacityExceeded => {
+                // Overcommit past capacity plus in-flight frees, without
+                // acknowledging oversubscription.
+                let over = self.state.uvm.gpu().free_bytes() + self.state.pending_gpu_free_bytes;
+                self.state.uvm.gpu_mut().force_allocate(over + 1);
+            }
+            InjectedFault::LedgerCorrupt => {
+                self.state.pending_gpu_free_bytes += 12_345;
+            }
+            InjectedFault::TimeRegression => {
+                if self.state.now > Nanos::ZERO {
+                    self.state.now = Nanos::ZERO;
+                } else {
+                    // Time has not advanced yet, so there is nothing to
+                    // rewind: flag the regression directly.
+                    self.state.flag_fault(PolicyFaultKind::TimeRegression {
+                        from: Nanos::ZERO,
+                        to: Nanos::ZERO,
+                    });
+                }
+            }
+            InjectedFault::NonFiniteSlowdown => {
+                if let Some(last) = self.kernel_slowdowns.last_mut() {
+                    *last = f64::NAN;
+                }
+            }
+            InjectedFault::ResidencyDesync => {
+                if self.state.uvm.gpu().used_bytes() > 0 {
+                    self.state.uvm.gpu_mut().free(1);
+                } else {
+                    self.state.uvm.gpu_mut().force_allocate(1);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn into_report(self) -> SimReport {
         let state = self.state;
         SimReport {
             model: self.graph.name().to_string(),
@@ -662,6 +954,7 @@ impl<'a> ReplayEngine<'a> {
             evictions_issued: state.evictions_issued,
             oversubscribed: state.oversubscribed,
             working_set_exceeds_gpu: self.working_set_exceeds_gpu,
+            policy_fault: None,
         }
     }
 

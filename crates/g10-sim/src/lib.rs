@@ -9,6 +9,11 @@
 //!   gated on the residency of their working set; migrations run
 //!   asynchronously on the modelled channels; stalls, faults and traffic are
 //!   accounted per kernel.
+//! * [`fault`] / [`guard`] — the hardening layer around untrusted policy
+//!   code: the per-step invariant audit ([`guard::InvariantGuard`]), typed
+//!   policy faults ([`fault::PolicyFaultKind`]), panic containment,
+//!   fallback degradation ([`fault::OnPolicyFault`]) and deterministic
+//!   fault injection ([`fault::FaultPlan`]).
 //! * [`policy`] — the [`policy::MemoryPolicy`] trait through which a memory
 //!   management design plugs into the engine.
 //! * [`policies`] — the designs compared in the paper: Ideal (infinite GPU
@@ -45,7 +50,11 @@
 //! # Ok::<(), g10_sim::SimError>(())
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod engine;
+pub mod fault;
+pub mod guard;
 pub mod metrics;
 pub mod naive;
 pub mod policies;
@@ -55,6 +64,7 @@ pub mod session;
 pub mod victim;
 
 pub use engine::{Location, ReplayEngine, RuntimeOptions, VictimSelection};
+pub use fault::{FaultPlan, FaultRecord, InjectedFault, OnPolicyFault, PolicyFaultKind, Validate};
 pub use metrics::SimReport;
 pub use policy::MemoryPolicy;
 pub use runner::{parallel_map, run_experiment, PolicyKind, Workload};

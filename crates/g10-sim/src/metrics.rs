@@ -6,6 +6,7 @@
 //! (Fig. 14), fault counts, and the write traffic feeding the SSD-lifetime
 //! analysis (§7.7).
 
+use crate::fault::FaultRecord;
 use g10_time::Nanos;
 use g10_uvm::TrafficStats;
 use serde::{Deserialize, Serialize};
@@ -44,6 +45,12 @@ pub struct SimReport {
     /// makes the workload infeasible for designs that require the full
     /// working set to be explicitly resident (FlashNeuron, footnote 1).
     pub working_set_exceeds_gpu: bool,
+    /// Set when this report came from a fallback re-run after the policy the
+    /// caller asked for faulted
+    /// ([`crate::fault::OnPolicyFault::FallbackTo`]): the quarantined
+    /// policy, the step it faulted at, and the fault kind.  `None` for a
+    /// clean run.
+    pub policy_fault: Option<FaultRecord>,
 }
 
 impl SimReport {
@@ -156,6 +163,7 @@ mod tests {
             evictions_issued: 12,
             oversubscribed: false,
             working_set_exceeds_gpu: false,
+            policy_fault: None,
         }
     }
 

@@ -92,6 +92,7 @@ impl MemoryPolicy for DeepUmPolicy {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use g10_dnn::models::{build_model, ModelKind};
 

@@ -307,6 +307,7 @@ where
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn tiny_config() -> SystemConfig {

@@ -90,7 +90,12 @@
 //! # Ok::<(), g10_sim::session::SimError>(())
 //! ```
 
+pub mod adversarial;
+
 use crate::engine::{ReplayEngine, RuntimeOptions};
+use crate::fault::{
+    catch_policy_panic, FaultRecord, InjectedFault, OnPolicyFault, PolicyFaultKind,
+};
 use crate::metrics::SimReport;
 use crate::policies::{BaseUvmPolicy, DeepUmPolicy, FlashNeuronPolicy, G10Policy, IdealPolicy};
 use crate::policy::MemoryPolicy;
@@ -119,6 +124,18 @@ pub enum SimError {
         /// Every registered policy name at the time of the failure.
         known: Vec<String>,
     },
+    /// The policy violated an engine invariant (or panicked) mid-run and
+    /// the session was configured to fail the cell
+    /// ([`OnPolicyFault::Fail`]) — or the fallback design faulted too.
+    PolicyFault {
+        /// The faulting policy, as the caller specified it.
+        policy: String,
+        /// The kernel step at which the fault was detected (0 for faults
+        /// during provider build or engine construction).
+        step: usize,
+        /// What went wrong.
+        kind: PolicyFaultKind,
+    },
 }
 
 impl SimError {
@@ -129,17 +146,47 @@ impl SimError {
             known: registered_policy_names(),
         }
     }
+
+    /// The fault behind an [`SimError::PolicyFault`], if that is what this
+    /// error is.
+    pub fn as_policy_fault(&self) -> Option<FaultRecord> {
+        match self {
+            SimError::PolicyFault { policy, step, kind } => Some(FaultRecord {
+                policy: policy.clone(),
+                step: *step,
+                kind: kind.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultRecord> for SimError {
+    fn from(fault: FaultRecord) -> Self {
+        SimError::PolicyFault {
+            policy: fault.policy,
+            step: fault.step,
+            kind: fault.kind,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UnknownPolicy { name, known } => {
+                // Sorted so the listing is deterministic even when custom
+                // registrations raced this error on other threads.
+                let mut known = known.clone();
+                known.sort();
                 write!(
                     f,
                     "unknown policy `{name}`; registered policies: {}",
                     known.join(", ")
                 )
+            }
+            SimError::PolicyFault { policy, step, kind } => {
+                write!(f, "policy fault in `{policy}` at step {step}: {kind}")
             }
         }
     }
@@ -213,6 +260,38 @@ impl PolicyContext<'_> {
 /// the Ideal baseline's unbounded GPU, the classic-UVM software overhead of
 /// the G10 ablations.  Implementations must be `Send + Sync` so sweeps can
 /// fan out across threads.
+///
+/// # Invariant contract (untrusted policies)
+///
+/// The engine treats providers and the policies they build as untrusted.
+/// The policy interacts with the simulation only through the public
+/// [`EngineState`](crate::engine::EngineState) API, and the engine defends
+/// its own invariants rather than trusting the policy's bookkeeping:
+///
+/// - The graceful request calls tolerate redundant or impossible requests
+///   by returning `false`; the strict variants
+///   ([`request_prefetch_strict`](crate::engine::EngineState::request_prefetch_strict),
+///   [`request_evict_strict`](crate::engine::EngineState::request_evict_strict))
+///   flag illegal requests as typed faults instead.
+/// - Out-of-range tensor ids are always a
+///   [`PolicyFaultKind::TensorOutOfRange`] fault.
+/// - Panics in [`PolicyProvider::build`] or in any per-kernel hook are
+///   contained and surface as [`PolicyFaultKind::BuildPanic`] /
+///   [`PolicyFaultKind::StepPanic`] — they never cross the engine
+///   boundary.
+/// - A per-step [`InvariantGuard`](crate::guard::InvariantGuard) audit
+///   (always on in debug builds, opt-in via
+///   [`Validate::Always`](crate::fault::Validate), forced on whenever a
+///   [`FaultPlan`](crate::fault::FaultPlan) is installed) re-derives the
+///   engine's memory accounting each kernel, so bookkeeping corruption is
+///   reported as a fault rather than a wrong result.
+///
+/// A fault fails the cell with [`SimError::PolicyFault`] by default;
+/// [`OnPolicyFault::FallbackTo`] instead quarantines the faulting design,
+/// re-runs the cell under the fallback, and records the fault on
+/// [`SimReport::policy_fault`](crate::metrics::SimReport::policy_fault).
+/// The adversarial fuzz harness (`tests/policy_fuzz.rs`) holds the engine
+/// to this contract.
 ///
 /// See the [module documentation](self) for an end-to-end out-of-tree
 /// registration example.
@@ -698,27 +777,51 @@ impl<'a> Experiment<'a> {
     /// Runs the experiment: resolve the provider, let it adjust the runtime
     /// options and build its policy (planning happens here for designs that
     /// plan), then replay the workload.
+    ///
+    /// Provider `build()` and every per-step policy call run under panic
+    /// containment, and the engine validates policy-issued actions as it
+    /// replays — a faulting policy yields [`SimError::PolicyFault`], or,
+    /// under [`RuntimeOptions::on_policy_fault`] =
+    /// [`OnPolicyFault::FallbackTo`], a fallback re-run whose report records
+    /// the quarantined policy in [`SimReport::policy_fault`].
     pub fn run(&self) -> Result<SimReport, SimError> {
         let provider = self.resolve(&self.policy)?;
         let planning = self.planning_trace.unwrap_or(&self.workload.trace);
-        Ok(self.execute(self.workload, provider.as_dyn(), planning))
+        self.execute(self.workload, &self.policy, provider.as_dyn(), planning)
     }
 
     /// Runs the same workload under each design in `specs`, in parallel
     /// (via [`parallel_map`]), preserving input order.  All specs are
     /// resolved up front, so an unknown name fails the whole sweep before
-    /// any replay starts.
+    /// any replay starts; a policy fault in one cell fails the sweep with
+    /// that cell's error (use [`Experiment::try_policies`] to keep the
+    /// other cells).
     pub fn policies<S: Into<PolicySpec>>(
         &self,
         specs: impl IntoIterator<Item = S>,
     ) -> Result<Vec<SimReport>, SimError> {
-        let providers: Vec<ProviderHandle> = specs
+        self.try_policies(specs)?.into_iter().collect()
+    }
+
+    /// Like [`Experiment::policies`], but returns each cell's own outcome
+    /// instead of failing the whole sweep on the first fault: one hostile
+    /// or buggy design costs its own cell, not the comparison.  Unknown
+    /// names still fail the sweep up front (outer `Err`).
+    pub fn try_policies<S: Into<PolicySpec>>(
+        &self,
+        specs: impl IntoIterator<Item = S>,
+    ) -> Result<Vec<Result<SimReport, SimError>>, SimError> {
+        let cells: Vec<(PolicySpec, ProviderHandle)> = specs
             .into_iter()
-            .map(|spec| self.resolve(&spec.into()))
-            .collect::<Result<_, _>>()?;
+            .map(|spec| {
+                let spec = spec.into();
+                let provider = self.resolve(&spec)?;
+                Ok((spec, provider))
+            })
+            .collect::<Result<_, SimError>>()?;
         let planning = self.planning_trace.unwrap_or(&self.workload.trace);
-        Ok(parallel_map(providers, |provider| {
-            self.execute(self.workload, provider.as_dyn(), planning)
+        Ok(parallel_map(cells, |(spec, provider)| {
+            self.execute(self.workload, spec, provider.as_dyn(), planning)
         }))
     }
 
@@ -734,10 +837,12 @@ impl<'a> Experiment<'a> {
         let provider = self.resolve(&self.policy)?;
         let model = self.workload.model;
         let batches: Vec<u64> = batches.into_iter().collect();
-        Ok(parallel_map(batches, |&batch| {
+        parallel_map(batches, |&batch| {
             let workload = Workload::new(model, batch);
-            self.execute(&workload, provider.as_dyn(), &workload.trace)
-        }))
+            self.execute(&workload, &self.policy, provider.as_dyn(), &workload.trace)
+        })
+        .into_iter()
+        .collect()
     }
 
     fn resolve(&self, spec: &PolicySpec) -> Result<ProviderHandle, SimError> {
@@ -760,33 +865,109 @@ impl<'a> Experiment<'a> {
         }
     }
 
+    /// Runs one cell, degrading to the configured fallback design if the
+    /// policy faults.  The fallback re-runs the cell from scratch (faulted
+    /// engine state is poisoned and discarded) with fault injection
+    /// disabled and no second level of fallback; its report records the
+    /// quarantined policy.  A fault in the fallback itself fails the cell.
     fn execute(
         &self,
         workload: &Workload,
+        spec: &PolicySpec,
         provider: &dyn PolicyProvider,
         planning_trace: &KernelTrace,
-    ) -> SimReport {
-        let mut options = self.options;
+    ) -> Result<SimReport, SimError> {
+        let mut options = self.options.clone();
         provider.adjust_options(&mut options);
+        let fault = match self.execute_once(workload, spec, provider, planning_trace, options) {
+            Ok(report) => return Ok(report),
+            Err(fault) => fault,
+        };
+        let fallback_spec = match &self.options.on_policy_fault {
+            OnPolicyFault::Fail => return Err(fault.into()),
+            OnPolicyFault::FallbackTo(spec) => spec.clone(),
+        };
+        let fallback = self.resolve(&fallback_spec)?;
+        let mut options = self.options.clone();
+        options.fault_plan = None;
+        options.on_policy_fault = OnPolicyFault::Fail;
+        fallback.as_dyn().adjust_options(&mut options);
+        let mut report = self
+            .execute_once(
+                workload,
+                &fallback_spec,
+                fallback.as_dyn(),
+                planning_trace,
+                options,
+            )
+            .map_err(SimError::from)?;
+        report.policy_fault = Some(fault);
+        Ok(report)
+    }
+
+    /// One engine run under panic containment: an injected or genuine panic
+    /// in provider `build()` becomes [`PolicyFaultKind::BuildPanic`], one
+    /// during engine construction (the policy's `initial_location` runs
+    /// there) or replay becomes a typed fault from
+    /// [`ReplayEngine::try_run`].  Faults are attributed to the caller's
+    /// spec string rather than the policy's self-reported name.
+    fn execute_once(
+        &self,
+        workload: &Workload,
+        spec: &PolicySpec,
+        provider: &dyn PolicyProvider,
+        planning_trace: &KernelTrace,
+        options: RuntimeOptions,
+    ) -> Result<SimReport, FaultRecord> {
+        let injected_build_panic = options
+            .fault_plan
+            .is_some_and(|plan| plan.fault == InjectedFault::BuildPanic);
         let ctx = PolicyContext {
             workload,
             config: &self.config,
             planning_trace,
         };
-        let policy = provider.build(&ctx);
-        ReplayEngine::new(
-            &workload.graph,
-            &workload.trace,
-            &self.config,
-            policy,
-            options,
-        )
-        .run()
+        let policy = catch_policy_panic(|| {
+            if injected_build_panic {
+                panic!("injected provider build panic");
+            }
+            provider.build(&ctx)
+        })
+        .map_err(|message| FaultRecord {
+            policy: spec.to_string(),
+            step: 0,
+            kind: PolicyFaultKind::BuildPanic { message },
+        })?;
+        let contained = catch_policy_panic(|| {
+            ReplayEngine::new(
+                &workload.graph,
+                &workload.trace,
+                &self.config,
+                policy,
+                options,
+            )
+            .try_run()
+        });
+        match contained {
+            // A panic that escaped `try_run`'s per-step containment can only
+            // have come from engine construction.
+            Err(message) => Err(FaultRecord {
+                policy: spec.to_string(),
+                step: 0,
+                kind: PolicyFaultKind::BuildPanic { message },
+            }),
+            Ok(Err(mut fault)) => {
+                fault.policy = spec.to_string();
+                Err(fault)
+            }
+            Ok(Ok(report)) => Ok(report),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::engine::{EngineState, Location};
     use crate::runner::run_policy;

@@ -1,0 +1,219 @@
+//! Deterministic fault injection: every [`InjectedFault`] kind, installed
+//! via [`FaultPlan`], must surface as the matching typed
+//! [`SimError::PolicyFault`] under fail-fast handling and as a recorded
+//! [`SimReport::policy_fault`](g10_sim::SimReport) under fallback
+//! degradation — and the typed paths must render readable diagnostics.
+
+use g10_core::config::SystemConfig;
+use g10_dnn::models::ModelKind;
+use g10_sim::{
+    Experiment, FaultPlan, InjectedFault, OnPolicyFault, PolicyFaultKind, PolicyKind, PolicySpec,
+    RuntimeOptions, SimError, Workload,
+};
+use std::sync::OnceLock;
+
+fn workload() -> &'static Workload {
+    static WORKLOAD: OnceLock<Workload> = OnceLock::new();
+    WORKLOAD.get_or_init(|| Workload::new(ModelKind::TinyCnn, 4))
+}
+
+fn config() -> SystemConfig {
+    SystemConfig::table2().with_gpu_memory(32 << 20)
+}
+
+/// The step each injection fires at.  Build panics are a construction-time
+/// event; everything else fires mid-run so the engine has state to corrupt.
+fn inject_step(fault: InjectedFault) -> usize {
+    match fault {
+        InjectedFault::BuildPanic => 0,
+        _ => 2,
+    }
+}
+
+/// Every injectable fault produces a typed `PolicyFault` whose kind tag
+/// and step match the plan — in release builds too, because installing a
+/// plan forces the invariant audit on.
+#[test]
+fn every_injected_fault_surfaces_typed() {
+    for fault in InjectedFault::ALL {
+        let step = inject_step(fault);
+        let result = Experiment::new(workload())
+            .policy(PolicyKind::BaseUvm)
+            .config(config())
+            .options(RuntimeOptions {
+                fault_plan: Some(FaultPlan { step, fault }),
+                ..RuntimeOptions::default()
+            })
+            .run();
+        match result {
+            Err(SimError::PolicyFault {
+                policy,
+                step: at,
+                kind,
+            }) => {
+                assert_eq!(kind.tag(), fault.tag(), "wrong kind for {fault:?}");
+                assert_eq!(at, step, "wrong step for {fault:?}");
+                assert_eq!(policy, "Base UVM", "fault must name the faulting spec");
+            }
+            other => panic!("injected {fault:?} must fault, got {other:?}"),
+        }
+    }
+}
+
+/// Under `FallbackTo(Base UVM)` every injected fault is quarantined: the
+/// cell completes under the fallback with the fault on the report.
+#[test]
+fn every_injected_fault_degrades_to_fallback() {
+    for fault in InjectedFault::ALL {
+        let step = inject_step(fault);
+        let report = Experiment::new(workload())
+            .policy(PolicyKind::DeepUmPlus)
+            .config(config())
+            .options(RuntimeOptions {
+                fault_plan: Some(FaultPlan { step, fault }),
+                on_policy_fault: OnPolicyFault::FallbackTo(PolicySpec::from(PolicyKind::BaseUvm)),
+                ..RuntimeOptions::default()
+            })
+            .run()
+            .unwrap_or_else(|err| panic!("fallback must absorb {fault:?}, got {err}"));
+        let record = report
+            .policy_fault
+            .as_ref()
+            .unwrap_or_else(|| panic!("fallback report must record {fault:?}"));
+        assert_eq!(record.kind.tag(), fault.tag());
+        assert_eq!(record.step, step);
+        assert_eq!(record.policy, "DeepUM+");
+        assert_eq!(
+            report.policy, "Base UVM",
+            "degraded cell must carry the fallback design's report"
+        );
+    }
+}
+
+/// `FaultPlan` parses from `<step>:<kind>` for every kind tag and rejects
+/// malformed plans — the contract behind the CLI's `--inject-fault` flag.
+#[test]
+fn fault_plan_round_trips_every_tag() {
+    for fault in InjectedFault::ALL {
+        let text = format!("7:{}", fault.tag());
+        let plan: FaultPlan = text.parse().unwrap_or_else(|err| {
+            panic!("plan {text:?} must parse, got {err}");
+        });
+        assert_eq!(plan.step, 7);
+        assert_eq!(plan.fault, fault);
+        assert_eq!(InjectedFault::from_tag(fault.tag()), Some(fault));
+    }
+    for bad in ["", "7", "x:step-panic", "3:not-a-kind", ":step-panic"] {
+        assert!(bad.parse::<FaultPlan>().is_err(), "{bad:?} must not parse");
+    }
+}
+
+/// Display of the typed error path is stable and self-describing: every
+/// kind renders its tag's human wording, and the session error carries the
+/// policy name and step.
+#[test]
+fn fault_displays_are_self_describing() {
+    let cases: [(PolicyFaultKind, &str); 10] = [
+        (
+            PolicyFaultKind::BuildPanic {
+                message: "boom".to_string(),
+            },
+            "provider build panicked",
+        ),
+        (
+            PolicyFaultKind::StepPanic {
+                message: "boom".to_string(),
+            },
+            "policy panicked",
+        ),
+        (
+            PolicyFaultKind::TensorOutOfRange {
+                tensor: 9,
+                universe: 5,
+            },
+            "outside the graph's universe",
+        ),
+        (
+            PolicyFaultKind::EvictNonResident { tensor: 3 },
+            "not an evictable GPU resident",
+        ),
+        (
+            PolicyFaultKind::PrefetchResident { tensor: 4 },
+            "already resident or inbound",
+        ),
+        (
+            PolicyFaultKind::CapacityExceeded {
+                used_bytes: 10,
+                allowed_bytes: 9,
+            },
+            "overcommitted",
+        ),
+        (
+            PolicyFaultKind::LedgerCorrupt {
+                ledger_bytes: 1,
+                prefix_bytes: 2,
+            },
+            "pending-free ledger corrupt",
+        ),
+        (
+            PolicyFaultKind::TimeRegression {
+                from: g10_time::Nanos::from_nanos(5),
+                to: g10_time::Nanos::ZERO,
+            },
+            "time moved backwards",
+        ),
+        (
+            PolicyFaultKind::NonFiniteSlowdown { kernel: 2 },
+            "non-finite or sub-unity slowdown",
+        ),
+        (
+            PolicyFaultKind::ResidencyDesync {
+                tracked_bytes: 1,
+                allocated_bytes: 2,
+            },
+            "bookkeeping desynchronised",
+        ),
+    ];
+    for (kind, needle) in cases {
+        let rendered = kind.to_string();
+        assert!(
+            rendered.contains(needle),
+            "{} must mention {needle:?}, got {rendered:?}",
+            kind.tag()
+        );
+        let error = SimError::PolicyFault {
+            policy: "adversary".to_string(),
+            step: 3,
+            kind: kind.clone(),
+        };
+        let rendered = error.to_string();
+        assert!(rendered.contains("`adversary`"), "got {rendered:?}");
+        assert!(rendered.contains("step 3"), "got {rendered:?}");
+        assert!(
+            rendered.contains(&kind.to_string()),
+            "error display must embed the kind: {rendered:?}"
+        );
+    }
+}
+
+/// The unknown-policy error lists the registry sorted, so the message is
+/// stable regardless of registration order.
+#[test]
+fn unknown_policy_error_lists_sorted_names() {
+    let err = Experiment::new(workload())
+        .policy(PolicySpec::named("no-such-design"))
+        .config(config())
+        .run()
+        .expect_err("unknown policy must fail");
+    let rendered = err.to_string();
+    let names: Vec<&str> = rendered
+        .split("registered policies: ")
+        .nth(1)
+        .unwrap_or_else(|| panic!("message must list registered policies, got {rendered:?}"))
+        .split(", ")
+        .collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "policy list must be sorted: {rendered:?}");
+    assert!(names.len() >= 5, "all built-ins listed: {rendered:?}");
+}

@@ -64,4 +64,46 @@ cmp "$OUT_DIR/pass1/run_TinyCNN_16.csv" "$OUT_DIR/pass2/run_TinyCNN_16.csv" || {
     exit 1
 }
 
+# Untrusted-policy hardening: bad inputs and faulting policies must fail
+# with one-line typed errors and a clean nonzero exit — never a panic
+# backtrace.  (`cargo run -q` keeps cargo's own output out of the log.)
+step "hardening: unknown policy fails clean"
+if cargo run "$PROFILE_FLAG" -q -p g10-bench --bin experiments -- \
+    run --model tinycnn --policy no-such-design --no-cache --out "$OUT_DIR/hard" \
+    >"$OUT_DIR/unknown.log" 2>&1; then
+    echo "error: unknown --policy must exit non-zero" >&2
+    exit 1
+fi
+grep -q 'unknown policy `no-such-design`' "$OUT_DIR/unknown.log" || {
+    echo "error: unknown-policy failure must print the typed error" >&2
+    cat "$OUT_DIR/unknown.log" >&2
+    exit 1
+}
+
+step "hardening: injected policy fault fails clean"
+if cargo run "$PROFILE_FLAG" -q -p g10-bench --bin experiments -- \
+    run --model tinycnn --batch 16 --policy base-uvm --inject-fault 2:step-panic \
+    --no-cache --out "$OUT_DIR/hard" >"$OUT_DIR/fault.log" 2>&1; then
+    echo "error: injected fault must exit non-zero" >&2
+    exit 1
+fi
+grep -q 'policy fault in `Base UVM` at step 2' "$OUT_DIR/fault.log" || {
+    echo "error: injected fault must print the typed policy-fault error" >&2
+    cat "$OUT_DIR/fault.log" >&2
+    exit 1
+}
+if grep -qi 'stack backtrace\|panicked at' "$OUT_DIR/unknown.log" "$OUT_DIR/fault.log"; then
+    echo "error: hardened failure paths must not print panic backtraces" >&2
+    exit 1
+fi
+
+step "hardening: fallback degradation completes with the fault recorded"
+cargo run "$PROFILE_FLAG" -q -p g10-bench --bin experiments -- \
+    run --model tinycnn --batch 16 --policy deepum+ --inject-fault 2:step-panic \
+    --on-fault base-uvm --no-cache --out "$OUT_DIR/hard" | tee "$OUT_DIR/fallback.log"
+grep -q 'step-panic@2 in `DeepUM+`' "$OUT_DIR/fallback.log" || {
+    echo "error: fallback run must record the quarantined fault" >&2
+    exit 1
+}
+
 printf '\nkick-tires: all steps passed.\n'

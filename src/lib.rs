@@ -59,13 +59,18 @@ pub use g10_uvm as uvm;
 /// [`SystemConfig`](g10_core::config::SystemConfig),
 /// [`ModelKind`](g10_dnn::models::ModelKind),
 /// [`RuntimeOptions`](g10_sim::RuntimeOptions)), the built-in design
-/// enumeration ([`PolicyKind`](g10_sim::PolicyKind)) and the run output
-/// ([`SimReport`](g10_sim::SimReport)).
+/// enumeration ([`PolicyKind`](g10_sim::PolicyKind)), the run output
+/// ([`SimReport`](g10_sim::SimReport)), and the untrusted-policy hardening
+/// knobs ([`Validate`](g10_sim::Validate),
+/// [`OnPolicyFault`](g10_sim::OnPolicyFault),
+/// [`FaultPlan`](g10_sim::FaultPlan),
+/// [`PolicyFaultKind`](g10_sim::PolicyFaultKind)).
 pub mod prelude {
     pub use g10_core::config::SystemConfig;
     pub use g10_dnn::models::ModelKind;
     pub use g10_sim::{
-        register_policy, Experiment, PolicyContext, PolicyKind, PolicyProvider, PolicyRegistry,
-        PolicySpec, RuntimeOptions, SimError, SimReport, Workload,
+        register_policy, Experiment, FaultPlan, FaultRecord, InjectedFault, OnPolicyFault,
+        PolicyContext, PolicyFaultKind, PolicyKind, PolicyProvider, PolicyRegistry, PolicySpec,
+        RuntimeOptions, SimError, SimReport, Validate, Workload,
     };
 }

@@ -107,6 +107,45 @@ fn session_planning_trace_matches_legacy() {
     }
 }
 
+/// Fallback degradation is a pure re-run: a cell whose policy faults under
+/// `FallbackTo(Base UVM)` must produce a report byte-identical to running
+/// Base UVM directly, except for the attached fault record.
+#[test]
+fn degraded_cell_is_byte_identical_to_direct_fallback_run() {
+    let workload = Workload::new(ModelKind::TinyCnn, 64);
+    let config = SystemConfig::table2().with_gpu_memory(32 << 20);
+    let direct = Experiment::new(&workload)
+        .policy(PolicyKind::BaseUvm)
+        .config(config)
+        .run()
+        .expect("built-in policies resolve");
+    // DeepUM+ with an injected mid-run panic, quarantined to Base UVM.
+    let mut degraded = Experiment::new(&workload)
+        .policy(PolicyKind::DeepUmPlus)
+        .config(config)
+        .options(RuntimeOptions {
+            fault_plan: Some(FaultPlan {
+                step: 1,
+                fault: InjectedFault::StepPanic,
+            }),
+            on_policy_fault: OnPolicyFault::FallbackTo(PolicySpec::from(PolicyKind::BaseUvm)),
+            ..RuntimeOptions::default()
+        })
+        .run()
+        .expect("fallback must absorb the injected fault");
+    let record = degraded
+        .policy_fault
+        .take()
+        .expect("degraded report must carry the fault record");
+    assert_eq!(record.policy, "DeepUM+");
+    assert_eq!(record.step, 1);
+    assert_eq!(record.kind.tag(), "step-panic");
+    // With the record detached, the re-run is indistinguishable from a
+    // first-class Base UVM cell — fingerprint and full struct equality.
+    assert_eq!(fingerprint_report(&direct), fingerprint_report(&degraded));
+    assert_eq!(direct, degraded);
+}
+
 // ---------------------------------------------------------------------------
 // The open half: a custom policy defined outside g10-sim
 // ---------------------------------------------------------------------------
