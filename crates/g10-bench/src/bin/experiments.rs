@@ -42,14 +42,15 @@
 use g10_bench::experiments::{self, run_cache_stats, set_run_store, EndToEndRuns};
 use g10_bench::json::Json;
 use g10_bench::output::{write_csv, Table};
+use g10_bench::serve::{self, RunRequest, ServeOptions};
 use g10_bench::store::RunStore;
 use g10_bench::trajectory::{self, CompareOptions, SnapshotMode};
 use g10_core::config::SystemConfig;
 use g10_dnn::models::ModelKind;
-use g10_sim::{FaultPlan, OnPolicyFault, PolicySpec, RuntimeOptions};
+use g10_sim::{CancelToken, FaultPlan, OnPolicyFault, PolicySpec, RuntimeOptions};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn emit(table: &Table, out_dir: &Path, name: &str) {
     println!("{}", table.render());
@@ -94,6 +95,27 @@ struct Flags {
     /// (default) or quarantine the faulting policy and re-run the cell
     /// under the named fallback design.
     on_fault: Option<String>,
+    /// Per-run deadline in milliseconds (`--deadline-ms`): expiry yields
+    /// the same typed `deadline exceeded` error the serve daemon reports.
+    deadline_ms: Option<u64>,
+    /// Daemon address, `serve --addr` (bind) / `submit --addr` (connect).
+    addr: Option<String>,
+    /// `serve --workers`: worker-pool size.
+    workers: Option<usize>,
+    /// `serve --queue-depth`: admission cap in queued requests.
+    queue_depth: Option<usize>,
+    /// `serve --queue-mib`: admission cap in estimated queued MiB.
+    queue_mib: Option<u64>,
+    /// `serve --drain-ms`: graceful-shutdown grace period.
+    drain_ms: Option<u64>,
+    /// `cache gc --max-mib`: target store size.
+    max_mib: Option<u64>,
+    /// `submit --health`: probe `GET /healthz` instead of running.
+    health: bool,
+    /// `submit --stats`: fetch `GET /stats` instead of running.
+    stats: bool,
+    /// `submit --shutdown`: post `POST /shutdown` instead of running.
+    shutdown: bool,
 }
 
 /// The `run` command: one (model, batch) cell under any list of policy
@@ -134,6 +156,11 @@ fn custom_run(flags: &Flags, out_dir: &Path) -> Result<(), String> {
     if let Some(plan) = flags.inject_fault {
         options.fault_plan = Some(plan);
     }
+    if let Some(ms) = flags.deadline_ms {
+        // Same plumbing as the daemon: a wall-clock token threaded into the
+        // engine's step loop, so expiry is the identical typed error.
+        options.cancel = Some(CancelToken::with_deadline(Duration::from_millis(ms)));
+    }
     match flags.on_fault.as_deref() {
         None | Some("fail") => {}
         Some(fallback) => {
@@ -146,6 +173,100 @@ fn custom_run(flags: &Flags, out_dir: &Path) -> Result<(), String> {
     let table = experiments::custom_run_with_options(model, batch, &policies, &config, &options)
         .map_err(|err| err.to_string())?;
     emit(&table, out_dir, &format!("run_{}_{batch}", model.name()));
+    Ok(())
+}
+
+/// The `serve` command: run the experiment daemon until shutdown.
+fn serve_cmd(flags: &Flags) -> Result<(), String> {
+    let mut options = ServeOptions::default();
+    if let Some(addr) = &flags.addr {
+        options.addr = addr.clone();
+    }
+    if let Some(workers) = flags.workers {
+        options.workers = workers;
+    }
+    if let Some(depth) = flags.queue_depth {
+        options.queue_depth = depth;
+    }
+    if let Some(mib) = flags.queue_mib {
+        if mib == 0 || mib > (u64::MAX >> 20) {
+            return Err("--queue-mib out of range".to_string());
+        }
+        options.queue_bytes = mib << 20;
+    }
+    if let Some(ms) = flags.drain_ms {
+        options.drain_ms = ms;
+    }
+    serve::serve(&options)
+}
+
+/// The `submit` command: one exchange against a running daemon.  Shares
+/// the wire client with the integration tests and kick-tires, so every
+/// consumer of the service exercises the same code path.
+fn submit(flags: &Flags) -> Result<(), String> {
+    let addr = flags
+        .addr
+        .as_deref()
+        .ok_or_else(|| "submit requires --addr HOST:PORT".to_string())?;
+    let timeout = Duration::from_secs(60);
+    let probe = |method: &str, path: &str| -> Result<(), String> {
+        let (status, body) = serve::exchange(addr, method, path, None, timeout)?;
+        print!("{}", body.render());
+        if status == 200 {
+            Ok(())
+        } else {
+            Err(format!("{path} answered {status}"))
+        }
+    };
+    if flags.health {
+        return probe("GET", "/healthz");
+    }
+    if flags.stats {
+        return probe("GET", "/stats");
+    }
+    if flags.shutdown {
+        return probe("POST", "/shutdown");
+    }
+    let model: ModelKind = flags
+        .model
+        .as_deref()
+        .ok_or_else(|| {
+            "submit requires --model <name> (or --health/--stats/--shutdown)".to_string()
+        })?
+        .parse()?;
+    let request = RunRequest {
+        model,
+        batch: flags.batch.unwrap_or_else(|| model.eval_batch()),
+        policy: flags.policies.clone().unwrap_or_else(|| "g10".to_string()),
+        gpu_mib: flags.gpu_mib,
+        deadline_ms: flags.deadline_ms,
+        inject_fault: flags.inject_fault,
+    };
+    let (status, body) = serve::exchange(addr, "POST", "/run", Some(&request.to_json()), timeout)?;
+    let summary = serve::summarize(status, &body);
+    if status == 200 {
+        println!("[submit] {summary}");
+        Ok(())
+    } else {
+        Err(summary)
+    }
+}
+
+/// `cache gc`: prune the persistent store to `--max-mib`.
+fn cache_gc(flags: &Flags) -> Result<(), String> {
+    let store = experiments::run_store().ok_or_else(|| {
+        "cache gc needs a store: pass --cache-dir DIR or set G10_CACHE_DIR".to_string()
+    })?;
+    let max_mib = flags
+        .max_mib
+        .ok_or_else(|| "cache gc requires --max-mib <N>".to_string())?;
+    if max_mib > (u64::MAX >> 20) {
+        return Err("--max-mib out of range".to_string());
+    }
+    let outcome = store
+        .gc(max_mib << 20)
+        .map_err(|err| format!("gc of {} failed: {err}", store.root().display()))?;
+    println!("{}", outcome.summary());
     Ok(())
 }
 
@@ -253,7 +374,28 @@ fn run(command: &str, flags: &Flags, out_dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// Restores the default `SIGPIPE` disposition (Rust ignores the signal by
+/// default) so piping output into `head`-style consumers that exit early
+/// terminates this process quietly instead of panicking on a closed
+/// stdout.  The daemon re-ignores `SIGPIPE` when it starts — a client
+/// hanging up mid-response must never kill the server.
+#[cfg(unix)]
+fn reset_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
 fn main() -> ExitCode {
+    reset_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positionals: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from("results");
@@ -321,6 +463,58 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--deadline-ms" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) => flags.deadline_ms = Some(ms),
+                _ => {
+                    eprintln!("error: --deadline-ms needs an integer millisecond argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--addr" => match iter.next() {
+                Some(addr) => flags.addr = Some(addr.clone()),
+                None => {
+                    eprintln!("error: --addr needs a HOST:PORT argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(workers)) if workers > 0 => flags.workers = Some(workers),
+                _ => {
+                    eprintln!("error: --workers needs a positive integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--queue-depth" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(depth)) if depth > 0 => flags.queue_depth = Some(depth),
+                _ => {
+                    eprintln!("error: --queue-depth needs a positive integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--queue-mib" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(mib)) => flags.queue_mib = Some(mib),
+                _ => {
+                    eprintln!("error: --queue-mib needs an integer MiB argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--drain-ms" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) => flags.drain_ms = Some(ms),
+                _ => {
+                    eprintln!("error: --drain-ms needs an integer millisecond argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-mib" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(mib)) => flags.max_mib = Some(mib),
+                _ => {
+                    eprintln!("error: --max-mib needs an integer MiB argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--health" => flags.health = true,
+            "--stats" => flags.stats = true,
+            "--shutdown" => flags.shutdown = true,
             "--min-speedup-ratio" => match iter.next().map(|v| v.parse::<f64>()) {
                 Some(Ok(ratio)) => flags.min_speedup_ratio = Some(ratio),
                 _ => {
@@ -343,7 +537,18 @@ fn main() -> ExitCode {
                      \n\
                      free-form runs over the open policy registry:\n\
                      \x20      experiments run --model <name> [--batch N] [--gpu-mib N]\n\
-                     \x20                  [--policy <name>[,<name>...]]\n\
+                     \x20                  [--policy <name>[,<name>...]] [--deadline-ms N]\n\
+                     \n\
+                     experiment service (see README \"Experiment service\"):\n\
+                     \x20      experiments serve [--addr HOST:PORT] [--workers N]\n\
+                     \x20                  [--queue-depth N] [--queue-mib N] [--drain-ms N]\n\
+                     \x20      experiments submit --addr HOST:PORT --model <name> [--batch N]\n\
+                     \x20                  [--policy <name>] [--gpu-mib N] [--deadline-ms N]\n\
+                     \x20                  [--inject-fault STEP:KIND]\n\
+                     \x20      experiments submit --addr HOST:PORT --health|--stats|--shutdown\n\
+                     \n\
+                     persistent store maintenance:\n\
+                     \x20      experiments cache gc --max-mib N [--cache-dir DIR]\n\
                      \n\
                      perf-trajectory harness (see scripts/bench-compare.sh):\n\
                      \x20      experiments bench snapshot [--full] [--out DIR]\n\
@@ -396,6 +601,12 @@ fn main() -> ExitCode {
                 _ => Err("bench compare needs <baseline.json> <fresh.json>".to_string()),
             },
             _ => Err("bench needs a subcommand: snapshot | compare".to_string()),
+        },
+        "serve" => serve_cmd(&flags),
+        "submit" => submit(&flags),
+        "cache" => match positionals.get(1).map(String::as_str) {
+            Some("gc") => cache_gc(&flags),
+            _ => Err("cache needs a subcommand: gc".to_string()),
         },
         command => run(command, &flags, &out_dir),
     };

@@ -12,8 +12,8 @@ use g10_dnn::models::ModelKind;
 use g10_dnn::stats::{fraction_longer_than, inactive_periods, memory_consumption};
 use g10_sim::metrics::SimReport;
 use g10_sim::{
-    parallel_map, Experiment, OnPolicyFault, PolicyKind, PolicySpec, RuntimeOptions, SimError,
-    Validate, Workload,
+    parallel_map, CancelRecord, CancelToken, Experiment, OnPolicyFault, PolicyKind, PolicySpec,
+    RuntimeOptions, SimError, Validate, Workload,
 };
 use g10_ssd::EnduranceModel;
 use g10_time::Nanos;
@@ -65,6 +65,28 @@ pub fn workload(model: ModelKind, batch: u64) -> Arc<Workload> {
 /// memory, SSD bandwidth, PCIe generation) get distinct run-cache cells.
 type ConfigKey = [u64; 12];
 
+/// The in-memory cell map shared by [`cached_run`] and
+/// [`cached_run_cancellable`]: both ultimately memoise the same canonical
+/// (model, batch, policy, config) cells, so a cell replayed by a figure
+/// sweep serves a daemon request and vice versa.
+type CellKey = (ModelKind, u64, PolicyKind, ConfigKey);
+
+fn run_cell_cache() -> &'static Mutex<HashMap<CellKey, CellSlot<Arc<SimReport>>>> {
+    type RunCache = Mutex<HashMap<CellKey, CellSlot<Arc<SimReport>>>>;
+    static CACHE: OnceLock<RunCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The persistent-store key of one canonical cell.
+fn store_key(model: ModelKind, batch: u64, policy: PolicyKind, config: &SystemConfig) -> RunKey {
+    RunKey {
+        model: model.name().to_string(),
+        batch,
+        policy: policy.label().to_string(),
+        config: config.cache_key(),
+    }
+}
+
 static RUN_CACHE_MEMORY_HITS: AtomicU64 = AtomicU64::new(0);
 static RUN_CACHE_DISK_HITS: AtomicU64 = AtomicU64::new(0);
 static RUN_CACHE_REPLAYS: AtomicU64 = AtomicU64::new(0);
@@ -105,23 +127,14 @@ pub fn cached_run(
     policy: PolicyKind,
     config: &SystemConfig,
 ) -> Arc<SimReport> {
-    type CellKey = (ModelKind, u64, PolicyKind, ConfigKey);
-    type RunCache = Mutex<HashMap<CellKey, CellSlot<Arc<SimReport>>>>;
-    static CACHE: OnceLock<RunCache> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (model, batch, policy, config.cache_key());
-    let slot = cell_slot(cache, &key);
+    let slot = cell_slot(run_cell_cache(), &key);
     // `None` after get_or_init means another thread initialised the slot —
     // an in-memory hit.
     let mut first_touch: Option<&AtomicU64> = None;
     let report = slot.get_or_init(|| {
         let store = run_store();
-        let store_key = RunKey {
-            model: model.name().to_string(),
-            batch,
-            policy: policy.label().to_string(),
-            config: config.cache_key(),
-        };
+        let store_key = store_key(model, batch, policy, config);
         if let Some(store) = &store {
             if let Some(report) = store.load(&store_key) {
                 first_touch = Some(&RUN_CACHE_DISK_HITS);
@@ -148,6 +161,109 @@ pub fn cached_run(
         .unwrap_or(&RUN_CACHE_MEMORY_HITS)
         .fetch_add(1, Ordering::Relaxed);
     report.clone()
+}
+
+/// Where a [`cached_run_cancellable`] lookup was served from.  The serve
+/// daemon reports this as the `source` field of a run response, so tests
+/// and kick-tires can assert cross-request and cross-process reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Both caches missed; the cell was simulated (and persisted, if a
+    /// store is installed).
+    Replayed,
+    /// Served from this process's in-memory cell map.
+    MemoryHit,
+    /// Served from the persistent on-disk store.
+    DiskHit,
+}
+
+impl CacheOutcome {
+    /// Stable wire label (`replayed` / `memory` / `disk`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Replayed => "replayed",
+            CacheOutcome::MemoryHit => "memory",
+            CacheOutcome::DiskHit => "disk",
+        }
+    }
+}
+
+/// [`cached_run`] with cooperative cancellation, reporting where the result
+/// came from.  The lookup order is the same — in-memory cell map, then the
+/// persistent store, then a replay — but the replay runs with `cancel`
+/// installed, and a cancelled or expired run returns the typed
+/// [`SimError`] **without** touching either cache: nothing is memoised and
+/// no store entry is written, so a partial run can never be served later
+/// as the cell's canonical result.
+///
+/// Unlike [`cached_run`], concurrent callers racing on the same missing
+/// cell each replay it themselves rather than blocking on the slot's
+/// `OnceLock` — a deliberate trade: a request holding the once-init lock
+/// while honouring its own deadline would wedge every other request for
+/// that cell behind a budget it does not share.  Whoever finishes first
+/// populates the slot (the replays are deterministic, so the results are
+/// identical); the daemon's admission queue keeps the duplicated work
+/// bounded.
+///
+/// # Errors
+///
+/// [`SimError::DeadlineExceeded`] / [`SimError::Cancelled`] when `cancel`
+/// fires mid-replay; built-in policies cannot otherwise fail under default
+/// options.
+pub fn cached_run_cancellable(
+    model: ModelKind,
+    batch: u64,
+    policy: PolicyKind,
+    config: &SystemConfig,
+    cancel: CancelToken,
+) -> Result<(Arc<SimReport>, CacheOutcome), SimError> {
+    // A token that has already fired refuses even a cache hit: the caller
+    // (or the daemon on its behalf) has given up on this request, and
+    // answering an abandoned request — however cheaply — hides the typed
+    // deadline error the robustness contract promises.
+    if let Some(kind) = cancel.fired(0) {
+        return Err(CancelRecord {
+            policy: policy.label().to_string(),
+            step: 0,
+            kind,
+        }
+        .into());
+    }
+    let key = (model, batch, policy, config.cache_key());
+    let slot = cell_slot(run_cell_cache(), &key);
+    if let Some(report) = slot.get() {
+        RUN_CACHE_MEMORY_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok((report.clone(), CacheOutcome::MemoryHit));
+    }
+    let store = run_store();
+    let store_key = store_key(model, batch, policy, config);
+    if let Some(store) = &store {
+        if let Some(report) = store.load(&store_key) {
+            let report = slot.get_or_init(|| Arc::new(report)).clone();
+            RUN_CACHE_DISK_HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok((report, CacheOutcome::DiskHit));
+        }
+    }
+    let options = RuntimeOptions {
+        cancel: Some(cancel),
+        ..RuntimeOptions::default()
+    };
+    let report = Experiment::new(&workload(model, batch))
+        .policy(policy)
+        .config(*config)
+        .options(options)
+        .run()?;
+    if let Some(store) = &store {
+        if let Err(err) = store.save(&store_key, &report) {
+            eprintln!(
+                "warning: could not persist run-cache entry {}: {err}",
+                store.entry_path(&store_key).display()
+            );
+        }
+    }
+    let report = slot.get_or_init(|| Arc::new(report)).clone();
+    RUN_CACHE_REPLAYS.fetch_add(1, Ordering::Relaxed);
+    Ok((report, CacheOutcome::Replayed))
 }
 
 /// Cumulative [`cached_run`] outcome counters — see [`run_cache_stats`].
@@ -270,12 +386,17 @@ pub fn custom_run(
 }
 
 /// [`custom_run`] with explicit [`RuntimeOptions`] — the driver behind the
-/// CLI's hardening flags (`--inject-fault`, `--on-fault`).
+/// CLI's hardening flags (`--inject-fault`, `--on-fault`) and its
+/// `--deadline-ms` cancellation budget.
 ///
 /// Hardened options (a fault plan, fallback degradation, or a forced
 /// invariant audit) bypass both run caches: their reports are not the
 /// cell's canonical result, so serving or persisting them through
-/// [`cached_run`]'s default-options key would poison the grid.
+/// [`cached_run`]'s default-options key would poison the grid.  A cancel
+/// token alone is *not* hardening — a run that completes within its budget
+/// is the canonical result — so built-ins with only a deadline installed
+/// route through [`cached_run_cancellable`], keeping the cell cacheable
+/// while still honouring the budget mid-replay.
 pub fn custom_run_with_options(
     model: ModelKind,
     batch: u64,
@@ -291,9 +412,15 @@ pub fn custom_run_with_options(
         .map(|name| name.parse())
         .collect::<Result<_, _>>()?;
     let workload = workload(model, batch);
-    let reports: Vec<Arc<SimReport>> = parallel_map(specs, |spec| match spec {
-        PolicySpec::Builtin(kind) if !hardened => Ok(cached_run(model, batch, *kind, config)),
-        spec => Experiment::new(&workload)
+    let reports: Vec<Arc<SimReport>> = parallel_map(specs, |spec| match (spec, &options.cancel) {
+        (PolicySpec::Builtin(kind), None) if !hardened => {
+            Ok(cached_run(model, batch, *kind, config))
+        }
+        (PolicySpec::Builtin(kind), Some(cancel)) if !hardened => {
+            cached_run_cancellable(model, batch, *kind, config, cancel.clone())
+                .map(|(report, _)| report)
+        }
+        (spec, _) => Experiment::new(&workload)
             .config(*config)
             .policy(spec.clone())
             .options(options.clone())

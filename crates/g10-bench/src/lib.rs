@@ -6,6 +6,7 @@
 pub mod experiments;
 pub mod json;
 pub mod output;
+pub mod serve;
 pub mod store;
 pub mod trajectory;
 pub mod workload_pipeline;

@@ -1,0 +1,419 @@
+//! Wire format of the experiment service: a deliberately small HTTP/1.1
+//! subset over the harness's own [`Json`] tree.
+//!
+//! The daemon speaks exactly what its clients need and nothing more: one
+//! request per connection (`Connection: close` semantics), `Content-Length`
+//! bodies only (no chunked encoding), and hard caps on header and body
+//! size so an adversarial client cannot balloon memory before admission
+//! control even sees the request.  Everything the daemon sends — success,
+//! every error class, load shedding — is a JSON body with a stable
+//! `status` / `kind` shape, so clients never have to scrape prose.
+
+use crate::json::{obj, Json};
+use g10_dnn::models::ModelKind;
+use g10_sim::{FaultPlan, SimError};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Hard cap on a request body; run requests are a few hundred bytes.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The method verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, query string and all.
+    pub path: String,
+    /// The body (empty when there was none).
+    pub body: String,
+}
+
+/// Reads one request from `stream`, honouring the head/body caps.
+///
+/// # Errors
+///
+/// Returns a message suitable for a 400 response: malformed request line,
+/// oversized head or body, bad `Content-Length`, or connection errors.
+pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // One-byte reads keep the parser trivially correct about not consuming
+    // body bytes; request heads are tiny and connections are local.
+    while !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed mid-request".to_string()),
+            Ok(_) => head.push(byte[0]),
+            Err(err) => return Err(format!("read error: {err}")),
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes"));
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(format!("malformed request line: {request_line:?}"));
+    };
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length: {:?}", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("request body exceeds {MAX_BODY_BYTES} bytes"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|err| format!("short body: {err}"))?;
+    Ok(HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// Writes one HTTP response with a JSON body and closes the exchange.
+/// `retry_after` adds the `Retry-After` header 503 shedding responses
+/// carry.  Write failures are returned so callers can count them, but a
+/// client that hung up early is not an error worth more than a tally.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    retry_after: Option<u64>,
+    body: &Json,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    };
+    let body = body.render();
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        body.len()
+    );
+    if let Some(seconds) = retry_after {
+        head.push_str(&format!("retry-after: {seconds}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Run requests
+// ---------------------------------------------------------------------------
+
+/// One experiment request, as posted to `POST /run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// Model name (any [`ModelKind`] alias).
+    pub model: ModelKind,
+    /// Batch size; defaults to the model's evaluation batch.
+    pub batch: u64,
+    /// Policy name, resolved through the open registry at run time.
+    pub policy: String,
+    /// Optional GPU-capacity override in MiB (Table 2 capacity otherwise).
+    pub gpu_mib: Option<u64>,
+    /// Per-request deadline in **milliseconds**, measured from admission —
+    /// time spent queued counts against it.
+    pub deadline_ms: Option<u64>,
+    /// Deterministic fault injection, `"<step>:<kind>"` as accepted by
+    /// `--inject-fault`.
+    pub inject_fault: Option<FaultPlan>,
+}
+
+impl RunRequest {
+    /// Parses a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a 400-ready message naming the offending field: unknown
+    /// model, missing/zero batch, out-of-range `gpu_mib`, malformed
+    /// `inject_fault`.  Unknown *policies* are deliberately **not** a parse
+    /// error — the registry is consulted at run time so the error carries
+    /// the live list of known names.
+    pub fn from_json(value: &Json) -> Result<RunRequest, String> {
+        let model: ModelKind = value
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing field: model".to_string())?
+            .parse()?;
+        let batch = match value.get("batch") {
+            None | Some(Json::Null) => model.eval_batch(),
+            Some(v) => v
+                .as_u64()
+                .filter(|&b| b > 0)
+                .ok_or_else(|| "batch must be a positive integer".to_string())?,
+        };
+        let policy = value
+            .get("policy")
+            .and_then(Json::as_str)
+            .unwrap_or("g10")
+            .to_string();
+        let gpu_mib = match value.get("gpu_mib") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&mib| mib > 0 && mib <= (u64::MAX >> 20))
+                    .ok_or_else(|| "gpu_mib out of range".to_string())?,
+            ),
+        };
+        let deadline_ms = match value.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| "deadline_ms must be a non-negative integer".to_string())?,
+            ),
+        };
+        let inject_fault = match value.get("inject_fault") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| "inject_fault must be a string".to_string())?
+                    .parse::<FaultPlan>()
+                    .map_err(|err| format!("inject_fault: {err}"))?,
+            ),
+        };
+        Ok(RunRequest {
+            model,
+            batch,
+            policy,
+            gpu_mib,
+            deadline_ms,
+            inject_fault,
+        })
+    }
+
+    /// Renders the request body `experiments submit` posts.
+    pub fn to_json(&self) -> Json {
+        let mut entries = vec![
+            ("model", Json::Str(self.model.name().to_string())),
+            ("batch", Json::Num(self.batch as f64)),
+            ("policy", Json::Str(self.policy.clone())),
+        ];
+        if let Some(mib) = self.gpu_mib {
+            entries.push(("gpu_mib", Json::Num(mib as f64)));
+        }
+        if let Some(ms) = self.deadline_ms {
+            entries.push(("deadline_ms", Json::Num(ms as f64)));
+        }
+        if let Some(plan) = self.inject_fault {
+            entries.push((
+                "inject_fault",
+                Json::Str(format!("{}:{}", plan.step, plan.fault.tag())),
+            ));
+        }
+        obj(entries)
+    }
+
+    /// Coarse in-flight cost estimate in bytes, used by the admission
+    /// queue's byte cap.  The dominant memory of a queued-then-running
+    /// request scales with the workload's tensor footprint, which scales
+    /// with batch; the constant is deliberately generous so the cap sheds
+    /// early rather than precisely.
+    pub fn estimated_cost(&self) -> u64 {
+        self.batch.saturating_mul(1 << 20).max(1 << 20)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response bodies
+// ---------------------------------------------------------------------------
+
+/// Builds the error body every non-200 response carries:
+/// `{"status":"error","error":{"kind":..., "message":...}}`.
+pub fn error_body(kind: &str, message: &str) -> Json {
+    obj(vec![
+        ("status", Json::Str("error".to_string())),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str(kind.to_string())),
+                ("message", Json::Str(message.to_string())),
+            ]),
+        ),
+    ])
+}
+
+/// Maps a [`SimError`] to its HTTP status and stable `kind` tag.  The
+/// `message` a client sees is `SimError`'s own `Display` — character for
+/// character what `experiments run` prints after `error:`, so the CLI and
+/// the service have one error surface.
+pub fn sim_error_status(err: &SimError) -> (u16, &'static str) {
+    match err {
+        SimError::UnknownPolicy { .. } => (400, "unknown-policy"),
+        SimError::PolicyFault { .. } => (500, "policy-fault"),
+        SimError::DeadlineExceeded { .. } => (504, "deadline-exceeded"),
+        SimError::Cancelled { .. } => (504, "cancelled"),
+        // `SimError` is non_exhaustive; anything future-typed is still a
+        // server-side failure, not the client's fault.
+        _ => (500, "internal"),
+    }
+}
+
+/// Builds the success body: the outcome `source` (`replayed` / `memory` /
+/// `disk` / `direct`) plus a compact report summary and a content
+/// fingerprint over the full per-kernel slowdown vector, so clients can
+/// assert bit-identical replay across processes without shipping the whole
+/// report.
+pub fn ok_body(source: &str, report: &g10_sim::SimReport) -> Json {
+    obj(vec![
+        ("status", Json::Str("ok".to_string())),
+        ("source", Json::Str(source.to_string())),
+        (
+            "report",
+            obj(vec![
+                ("model", Json::Str(report.model.clone())),
+                ("batch", Json::Num(report.batch as f64)),
+                ("policy", Json::Str(report.policy.clone())),
+                (
+                    "total_time_ns",
+                    Json::Num(u64::from(report.total_time) as f64),
+                ),
+                (
+                    "ideal_time_ns",
+                    Json::Num(u64::from(report.ideal_time) as f64),
+                ),
+                (
+                    "stall_time_ns",
+                    Json::Num(u64::from(report.stall_time) as f64),
+                ),
+                ("fault_count", Json::Num(report.fault_count as f64)),
+                (
+                    "normalized_performance",
+                    Json::Num(report.normalized_performance()),
+                ),
+                (
+                    "fingerprint",
+                    Json::Str(format!("{:016x}", report_fingerprint(report))),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// FNV-1a over the report's timing bit patterns.  Two reports fingerprint
+/// equal iff their times and full slowdown vectors are bit-identical — the
+/// cross-restart byte-identity check the store already guarantees, made
+/// observable over the wire.
+pub fn report_fingerprint(report: &g10_sim::SimReport) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&u64::from(report.total_time).to_le_bytes());
+    eat(&u64::from(report.ideal_time).to_le_bytes());
+    eat(&u64::from(report.stall_time).to_le_bytes());
+    eat(&report.fault_count.to_le_bytes());
+    for &slowdown in &report.kernel_slowdowns {
+        eat(&slowdown.to_bits().to_le_bytes());
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_roundtrips_through_json() {
+        let request = RunRequest {
+            model: ModelKind::TinyCnn,
+            batch: 16,
+            policy: "g10".to_string(),
+            gpu_mib: Some(64),
+            deadline_ms: Some(2500),
+            inject_fault: Some("3:step-panic".parse().unwrap()),
+        };
+        let parsed = RunRequest::from_json(&request.to_json()).unwrap();
+        assert_eq!(parsed, request);
+    }
+
+    #[test]
+    fn run_request_defaults_batch_and_policy() {
+        let body = obj(vec![("model", Json::Str("tinycnn".to_string()))]);
+        let parsed = RunRequest::from_json(&body).unwrap();
+        assert_eq!(parsed.batch, ModelKind::TinyCnn.eval_batch());
+        assert_eq!(parsed.policy, "g10");
+        assert_eq!(parsed.gpu_mib, None);
+    }
+
+    #[test]
+    fn run_request_rejects_bad_fields() {
+        for (field, value) in [
+            ("batch", Json::Num(0.0)),
+            ("gpu_mib", Json::Num(-1.0)),
+            ("deadline_ms", Json::Str("soon".to_string())),
+            ("inject_fault", Json::Str("nonsense".to_string())),
+        ] {
+            let body = obj(vec![
+                ("model", Json::Str("tinycnn".to_string())),
+                (field, value),
+            ]);
+            assert!(
+                RunRequest::from_json(&body).is_err(),
+                "accepted bad {field}"
+            );
+        }
+        assert!(
+            RunRequest::from_json(&obj(vec![])).is_err(),
+            "accepted empty body"
+        );
+    }
+
+    #[test]
+    fn sim_errors_map_to_typed_statuses() {
+        let unknown = SimError::UnknownPolicy {
+            name: "nope".to_string(),
+            known: vec![],
+        };
+        assert_eq!(sim_error_status(&unknown), (400, "unknown-policy"));
+        let expired = SimError::DeadlineExceeded {
+            policy: "g10".to_string(),
+            step: 7,
+        };
+        assert_eq!(sim_error_status(&expired), (504, "deadline-exceeded"));
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_distinguishes_reports() {
+        use g10_core::config::SystemConfig;
+        use g10_sim::{Experiment, PolicyKind, Workload};
+
+        let workload = Workload::new(ModelKind::TinyCnn, 16);
+        let config = SystemConfig::table2().with_gpu_memory(16 << 20);
+        let run = |kind: PolicyKind| {
+            Experiment::new(&workload)
+                .policy(kind)
+                .config(config)
+                .run()
+                .unwrap()
+        };
+        let ideal = run(PolicyKind::Ideal);
+        let uvm = run(PolicyKind::BaseUvm);
+        assert_eq!(report_fingerprint(&ideal), report_fingerprint(&ideal));
+        assert_ne!(report_fingerprint(&ideal), report_fingerprint(&uvm));
+    }
+}

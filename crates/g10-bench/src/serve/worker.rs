@@ -1,0 +1,184 @@
+//! The worker side of the experiment service: one admitted [`Job`] in, one
+//! typed HTTP response out, no matter what the policy code does.
+//!
+//! Workers are long-lived threads looping on [`Admission::take`].  Each
+//! job runs under the request's own [`CancelToken`] and inside
+//! [`catch_policy_panic`], so the three failure families stay separate and
+//! typed: client mistakes (400), policy faults and contained panics (500),
+//! expired deadlines and drain cancellations (504).  A worker thread
+//! itself never dies with a request — panic containment turns the panic
+//! into the 500 body and the loop continues.
+
+use g10_core::config::SystemConfig;
+use g10_sim::fault::catch_policy_panic;
+use g10_sim::{CancelToken, Experiment, PolicySpec, RuntimeOptions, SimError, SimReport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use super::protocol::{self, RunRequest};
+use super::queue::{Admission, Job};
+use crate::experiments::{cached_run_cancellable, workload};
+use crate::json::Json;
+
+/// Monotonic counters behind `GET /stats`, shared by acceptor and workers.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests read off the wire (any endpoint).
+    pub received: AtomicU64,
+    /// Run requests admitted to the queue.
+    pub admitted: AtomicU64,
+    /// Run requests shed with 503.
+    pub shed: AtomicU64,
+    /// Run responses with status ok.
+    pub ok: AtomicU64,
+    /// Run responses with a typed error body.
+    pub failed: AtomicU64,
+    /// Jobs currently being executed by workers.
+    pub in_flight: AtomicU64,
+    /// Ok responses served by fresh replay.
+    pub replayed: AtomicU64,
+    /// Ok responses served from the in-memory cell cache.
+    pub memory_hits: AtomicU64,
+    /// Ok responses served from the persistent store.
+    pub disk_hits: AtomicU64,
+}
+
+impl ServeStats {
+    /// The `GET /stats` body.
+    pub fn to_json(&self, queue_depth: usize, draining: bool) -> Json {
+        let get = |counter: &AtomicU64| Json::Num(counter.load(Ordering::Relaxed) as f64);
+        crate::json::obj(vec![
+            ("received", get(&self.received)),
+            ("admitted", get(&self.admitted)),
+            ("shed", get(&self.shed)),
+            ("ok", get(&self.ok)),
+            ("failed", get(&self.failed)),
+            ("in_flight", get(&self.in_flight)),
+            ("queue_depth", Json::Num(queue_depth as f64)),
+            ("replayed", get(&self.replayed)),
+            ("memory_hits", get(&self.memory_hits)),
+            ("disk_hits", get(&self.disk_hits)),
+            ("draining", Json::Bool(draining)),
+        ])
+    }
+}
+
+/// Cancel-token slots for in-flight jobs, one per worker, so the drain
+/// deadline can cancel whatever is still running without tracking job
+/// identity.
+#[derive(Debug)]
+pub struct RunningTokens {
+    slots: Vec<std::sync::Mutex<Option<CancelToken>>>,
+}
+
+impl RunningTokens {
+    /// One empty slot per worker.
+    pub fn new(workers: usize) -> RunningTokens {
+        RunningTokens {
+            slots: (0..workers).map(|_| std::sync::Mutex::new(None)).collect(),
+        }
+    }
+
+    fn set(&self, worker: usize, token: Option<CancelToken>) {
+        *self.slots[worker].lock().expect("token slot poisoned") = token;
+    }
+
+    /// Fires every in-flight job's token (drain-deadline expiry).
+    pub fn cancel_all(&self) {
+        for slot in &self.slots {
+            if let Some(token) = slot.lock().expect("token slot poisoned").as_ref() {
+                token.cancel();
+            }
+        }
+    }
+}
+
+/// Executes one run request under its token.  Built-in policies under
+/// default hardware go through the shared [`cached_run_cancellable`] path
+/// (the same cells the figure drivers replay); custom registry policies
+/// and fault-injected runs execute directly and report `source: "direct"`.
+///
+/// # Errors
+///
+/// Any [`SimError`]: unknown policy, typed policy fault, expired deadline,
+/// cancellation.
+pub fn run_request(
+    request: &RunRequest,
+    cancel: CancelToken,
+) -> Result<(Arc<SimReport>, &'static str), SimError> {
+    let spec: PolicySpec = request.policy.parse()?;
+    let mut config = SystemConfig::table2();
+    if let Some(gpu_mib) = request.gpu_mib {
+        config = config.with_gpu_memory(gpu_mib << 20);
+    }
+    match (&spec, request.inject_fault) {
+        (PolicySpec::Builtin(kind), None) => {
+            cached_run_cancellable(request.model, request.batch, *kind, &config, cancel)
+                .map(|(report, outcome)| (report, outcome.label()))
+        }
+        _ => {
+            let options = RuntimeOptions {
+                cancel: Some(cancel),
+                fault_plan: request.inject_fault,
+                ..RuntimeOptions::default()
+            };
+            Experiment::new(&workload(request.model, request.batch))
+                .policy(spec)
+                .config(config)
+                .options(options)
+                .run()
+                .map(|report| (Arc::new(report), "direct"))
+        }
+    }
+}
+
+/// The worker loop: take jobs until the queue closes, answer every one.
+pub fn worker_loop(
+    worker: usize,
+    admission: &Admission,
+    stats: &ServeStats,
+    running: &RunningTokens,
+) {
+    while let Some(job) = admission.take() {
+        let Job {
+            mut stream,
+            request,
+            cancel,
+            cost: _,
+        } = job;
+        stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        running.set(worker, Some(cancel.clone()));
+        // Containment boundary: a panic anywhere below — policy code, the
+        // engine, response assembly — becomes this request's 500, and the
+        // worker thread lives on for the next job.
+        let outcome = catch_policy_panic(|| run_request(&request, cancel));
+        let (status, retry_after, body) = match outcome {
+            Ok(Ok((report, source))) => {
+                stats.ok.fetch_add(1, Ordering::Relaxed);
+                match source {
+                    "memory" => stats.memory_hits.fetch_add(1, Ordering::Relaxed),
+                    "disk" => stats.disk_hits.fetch_add(1, Ordering::Relaxed),
+                    _ => stats.replayed.fetch_add(1, Ordering::Relaxed),
+                };
+                (200, None, protocol::ok_body(source, &report))
+            }
+            Ok(Err(err)) => {
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+                let (status, kind) = protocol::sim_error_status(&err);
+                (status, None, protocol::error_body(kind, &err.to_string()))
+            }
+            Err(panic_message) => {
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+                (
+                    500,
+                    None,
+                    protocol::error_body("internal", &format!("worker panicked: {panic_message}")),
+                )
+            }
+        };
+        // A client that hung up before its answer is not our problem.
+        let _ = protocol::write_response(&mut stream, status, retry_after, &body);
+        running.set(worker, None);
+        stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}

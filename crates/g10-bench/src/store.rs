@@ -192,6 +192,112 @@ impl RunStore {
             })
             .count()
     }
+
+    /// Prunes the store down to at most `max_bytes` of entry data, removing
+    /// oldest-modification-time entries first (ties broken by filename, so
+    /// a gc pass is deterministic for a given directory state).  Orphaned
+    /// staging files older than [`STALE_TMP_AGE`] — left behind by a
+    /// crashed writer — are removed too; fresh ones may still be renamed
+    /// into place and are left alone.
+    ///
+    /// Safe against concurrent readers and writers: entries are complete
+    /// files (writers rename into place), so a reader either opens the
+    /// full entry before the unlink or misses it and replays — never a
+    /// torn read.  An entry that vanishes mid-gc (another gc, a concurrent
+    /// writer's rename) is simply skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the store directory itself cannot be read;
+    /// per-entry races (entry removed or replaced underneath the pass) are
+    /// tolerated, not errors.
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcOutcome> {
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        let mut outcome = GcOutcome::default();
+        let now = std::time::SystemTime::now();
+        for dirent in fs::read_dir(&self.root)? {
+            let Ok(dirent) = dirent else { continue };
+            let path = dirent.path();
+            let Ok(meta) = dirent.metadata() else {
+                continue;
+            };
+            if !meta.is_file() {
+                continue;
+            }
+            let is_entry = path.extension().is_some_and(|ext| ext == ENTRY_EXTENSION);
+            if is_entry {
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                entries.push((mtime, path, meta.len()));
+            } else if is_stale_tmp(&path, &meta, now) && fs::remove_file(&path).is_ok() {
+                outcome.stale_tmp_removed += 1;
+            }
+        }
+        // Newest first; the prefix that fits under the cap is kept.
+        entries.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        for (_, path, len) in entries {
+            if outcome.kept_bytes + len <= max_bytes {
+                outcome.kept += 1;
+                outcome.kept_bytes += len;
+            } else {
+                // A concurrent writer may have renamed over (or another gc
+                // removed) the entry; losing that race is fine either way.
+                if fs::remove_file(&path).is_ok() {
+                    outcome.removed += 1;
+                    outcome.removed_bytes += len;
+                }
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+/// Age past which an orphaned staging (`.tmp`) file is considered dead.
+/// Generous: a live writer stages and renames within milliseconds.
+pub const STALE_TMP_AGE: std::time::Duration = std::time::Duration::from_secs(3600);
+
+fn is_stale_tmp(path: &Path, meta: &fs::Metadata, now: std::time::SystemTime) -> bool {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if !(name.starts_with('.') && name.ends_with(".tmp")) {
+        return false;
+    }
+    match meta.modified() {
+        Ok(mtime) => now
+            .duration_since(mtime)
+            .is_ok_and(|age| age >= STALE_TMP_AGE),
+        Err(_) => false,
+    }
+}
+
+/// Tally of one [`RunStore::gc`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Entries left in the store.
+    pub kept: usize,
+    /// Bytes of entry data left in the store.
+    pub kept_bytes: u64,
+    /// Entries removed.
+    pub removed: usize,
+    /// Bytes of entry data removed.
+    pub removed_bytes: u64,
+    /// Orphaned staging files removed.
+    pub stale_tmp_removed: usize,
+}
+
+impl GcOutcome {
+    /// The one-line tally the `experiments cache gc` command prints.
+    pub fn summary(&self) -> String {
+        let mut line = format!(
+            "cache gc: removed {} entries ({:.1} MiB), kept {} entries ({:.1} MiB)",
+            self.removed,
+            self.removed_bytes as f64 / (1u64 << 20) as f64,
+            self.kept,
+            self.kept_bytes as f64 / (1u64 << 20) as f64,
+        );
+        if self.stale_tmp_removed > 0 {
+            line.push_str(&format!(", {} stale staging files", self.stale_tmp_removed));
+        }
+        line
+    }
 }
 
 fn push_str(out: &mut Vec<u8>, s: &str) {

@@ -1,0 +1,220 @@
+//! Cooperative cancellation for replay runs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle checked by the replay
+//! engine at the top of every kernel step (and by the session before the
+//! expensive provider build).  It carries up to three independent triggers:
+//!
+//! * an explicit [`CancelToken::cancel`] call (a daemon draining its
+//!   in-flight work, a user hitting Ctrl-C), surfacing as
+//!   [`CancelKind::Cancelled`];
+//! * a wall-clock deadline ([`CancelToken::with_deadline`], the
+//!   `--deadline-ms` CLI flag and the serve daemon's per-request budget),
+//!   surfacing as [`CancelKind::DeadlineExceeded`];
+//! * a deterministic step limit ([`CancelToken::at_step`]), used by tests
+//!   that need cancellation to fire at an exact kernel without racing the
+//!   wall clock; it reports as a deadline, since that is what it models.
+//!
+//! Cancellation is *cooperative*: the engine observes the token between
+//! steps, so a fired token aborts the run at a step boundary with all
+//! containment and bookkeeping intact — it never tears an in-progress step.
+//! A run with no token installed pays nothing and behaves byte-identically
+//! to one built before this module existed.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelKind {
+    /// The token's deadline (wall-clock or deterministic step limit)
+    /// expired.
+    DeadlineExceeded,
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+}
+
+impl CancelKind {
+    /// Stable kebab-case tag naming the kind (mirrors
+    /// [`crate::fault::PolicyFaultKind::tag`]); used by the serve wire
+    /// format and tests.
+    pub const fn tag(self) -> &'static str {
+        match self {
+            CancelKind::DeadlineExceeded => "deadline-exceeded",
+            CancelKind::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for CancelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Where a cancelled run stopped: which policy was running, at which kernel
+/// step the token was observed, and why.  The session rewrites `policy` to
+/// the caller's spec string, exactly as it does for [`crate::FaultRecord`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CancelRecord {
+    /// The policy that was running, as the caller specified it.
+    pub policy: String,
+    /// The kernel step at which cancellation was observed.
+    pub step: usize,
+    /// Why the run stopped.
+    pub kind: CancelKind,
+}
+
+impl fmt::Display for CancelRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            CancelKind::DeadlineExceeded => {
+                write!(
+                    f,
+                    "deadline exceeded in `{}` at step {}",
+                    self.policy, self.step
+                )
+            }
+            CancelKind::Cancelled => {
+                write!(
+                    f,
+                    "run cancelled in `{}` at step {}",
+                    self.policy, self.step
+                )
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    step_limit: Option<usize>,
+}
+
+/// A cloneable cancellation handle shared between a run and whoever may
+/// abort it.  Install via [`crate::RuntimeOptions::cancel`]; all clones
+/// observe the same state.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own — cancel it explicitly with
+    /// [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that fires [`CancelKind::DeadlineExceeded`] once `budget` of
+    /// wall-clock time has elapsed from *now* (construction time — build
+    /// the token when the request is admitted, not when it starts running,
+    /// so queue time counts against the budget).
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                deadline: Instant::now().checked_add(budget),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// A deterministic token that fires [`CancelKind::DeadlineExceeded`] at
+    /// the first step `>= limit` — test-friendly cancellation with no
+    /// wall-clock race.
+    pub fn at_step(limit: usize) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                step_limit: Some(limit),
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Cancels every run observing this token (or any clone of it).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The trigger that has fired as of kernel step `step`, if any.
+    /// Explicit cancellation wins over an expired deadline when both hold.
+    pub fn fired(&self, step: usize) -> Option<CancelKind> {
+        if self.is_cancelled() {
+            return Some(CancelKind::Cancelled);
+        }
+        if self.inner.step_limit.is_some_and(|limit| step >= limit) {
+            return Some(CancelKind::DeadlineExceeded);
+        }
+        if self.inner.deadline.is_some_and(|at| Instant::now() >= at) {
+            return Some(CancelKind::DeadlineExceeded);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn fresh_token_never_fires() {
+        let token = CancelToken::new();
+        assert_eq!(token.fired(0), None);
+        assert_eq!(token.fired(usize::MAX), None);
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(token.fired(3), Some(CancelKind::Cancelled));
+    }
+
+    #[test]
+    fn step_limit_fires_deterministically() {
+        let token = CancelToken::at_step(5);
+        assert_eq!(token.fired(4), None);
+        assert_eq!(token.fired(5), Some(CancelKind::DeadlineExceeded));
+        assert_eq!(token.fired(6), Some(CancelKind::DeadlineExceeded));
+    }
+
+    #[test]
+    fn elapsed_deadline_fires() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(token.fired(0), Some(CancelKind::DeadlineExceeded));
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_deadline() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        token.cancel();
+        assert_eq!(token.fired(0), Some(CancelKind::Cancelled));
+    }
+
+    #[test]
+    fn records_render_one_line() {
+        let record = CancelRecord {
+            policy: "g10".to_string(),
+            step: 7,
+            kind: CancelKind::DeadlineExceeded,
+        };
+        assert_eq!(record.to_string(), "deadline exceeded in `g10` at step 7");
+        let record = CancelRecord {
+            kind: CancelKind::Cancelled,
+            ..record
+        };
+        assert_eq!(record.to_string(), "run cancelled in `g10` at step 7");
+    }
+}

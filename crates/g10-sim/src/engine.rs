@@ -11,6 +11,7 @@
 //! bandwidth contention shows up as later completion times and therefore as
 //! kernel stalls.
 
+use crate::cancel::{CancelRecord, CancelToken};
 use crate::fault::{
     catch_policy_panic, FaultPlan, FaultRecord, InjectedFault, OnPolicyFault, PolicyFaultKind,
     Validate,
@@ -123,6 +124,12 @@ pub struct RuntimeOptions {
     /// Installing a plan forces the invariant audit on in every build
     /// profile, so injected faults are always caught.
     pub fault_plan: Option<FaultPlan>,
+    /// Cooperative cancellation: the engine observes the token at every
+    /// kernel step boundary and aborts with
+    /// [`EngineError::Cancelled`] once it fires (a per-request deadline in
+    /// the serve daemon, `--deadline-ms` on the CLI, or an explicit
+    /// [`CancelToken::cancel`]).  `None` (the default) costs nothing.
+    pub cancel: Option<CancelToken>,
 }
 
 impl RuntimeOptions {
@@ -144,9 +151,41 @@ impl Default for RuntimeOptions {
             validate: Validate::DebugOnly,
             on_policy_fault: OnPolicyFault::Fail,
             fault_plan: None,
+            cancel: None,
         }
     }
 }
+
+/// Why a replay run stopped short of its report: a typed policy fault, or
+/// cooperative cancellation.  Produced by [`ReplayEngine::try_run`];
+/// sessions map both variants onto [`crate::session::SimError`] —
+/// importantly, cancellation never enters the fallback-degradation path
+/// (the caller gave up on the cell; re-running it under another design
+/// would spend exactly the budget that just ran out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The policy (or corrupted bookkeeping) violated an engine invariant.
+    Fault(FaultRecord),
+    /// The run's [`CancelToken`] fired between steps.
+    Cancelled(CancelRecord),
+}
+
+impl From<FaultRecord> for EngineError {
+    fn from(fault: FaultRecord) -> Self {
+        EngineError::Fault(fault)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Fault(fault) => fault.fmt(f),
+            EngineError::Cancelled(record) => record.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 #[derive(Debug, Clone, Copy)]
 struct TensorRuntime {
@@ -668,6 +707,8 @@ pub struct ReplayEngine<'a> {
     validate_active: bool,
     /// Deterministic fault injection, if any.
     fault_plan: Option<FaultPlan>,
+    /// Cooperative cancellation handle, if any.
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> ReplayEngine<'a> {
@@ -789,30 +830,42 @@ impl<'a> ReplayEngine<'a> {
             working_set_exceeds_gpu,
             validate_active,
             fault_plan: options.fault_plan,
+            cancel: options.cancel,
         }
     }
 
     /// Replays the iteration and returns the report, panicking on a policy
-    /// fault.  Legacy wrapper over [`ReplayEngine::try_run`] for callers
-    /// running trusted built-in policies.
+    /// fault or a cancelled run.  Legacy wrapper over
+    /// [`ReplayEngine::try_run`] for callers running trusted built-in
+    /// policies with no cancellation installed.
     pub fn run(self) -> SimReport {
         match self.try_run() {
             Ok(report) => report,
-            Err(fault) => panic!("{fault}"),
+            Err(error) => panic!("{error}"),
         }
     }
 
     /// Replays the iteration, validating every policy-issued action (and,
     /// when the audit is active, the engine's own bookkeeping) each step.
     /// Each step's policy hooks run under panic containment, so a hostile
-    /// or buggy policy yields a typed [`FaultRecord`] instead of unwinding
-    /// through the caller.  The run aborts at the first fault; the fault's
-    /// `policy` field carries the policy's self-reported name (sessions
-    /// rewrite it to the caller's spec string).
-    pub fn try_run(mut self) -> Result<SimReport, FaultRecord> {
+    /// or buggy policy yields a typed [`EngineError::Fault`] instead of
+    /// unwinding through the caller.  The run aborts at the first fault;
+    /// the fault's `policy` field carries the policy's self-reported name
+    /// (sessions rewrite it to the caller's spec string).  An installed
+    /// [`RuntimeOptions::cancel`] token is observed at every step boundary
+    /// and aborts the run with [`EngineError::Cancelled`] — before the
+    /// step runs, so a cancelled run never tears a step in progress.
+    pub fn try_run(mut self) -> Result<SimReport, EngineError> {
         let n = self.graph.num_kernels();
         let mut guard = InvariantGuard::new();
         for k in 0..n {
+            if let Some(kind) = self.cancel.as_ref().and_then(|token| token.fired(k)) {
+                return Err(EngineError::Cancelled(CancelRecord {
+                    policy: self.policy.name(),
+                    step: k,
+                    kind,
+                }));
+            }
             self.state.current_kernel = k;
             let injected = self
                 .fault_plan
@@ -824,7 +877,9 @@ impl<'a> ReplayEngine<'a> {
                 self.step(k);
             });
             if let Err(message) = stepped {
-                return Err(self.fault_record(k, PolicyFaultKind::StepPanic { message }));
+                return Err(self
+                    .fault_record(k, PolicyFaultKind::StepPanic { message })
+                    .into());
             }
             if let Some(fault) = injected {
                 self.inject_after_step(fault, k);
@@ -837,7 +892,7 @@ impl<'a> ReplayEngine<'a> {
                 }
             }
             if let Some((step, kind)) = self.state.fault.borrow_mut().take() {
-                return Err(self.fault_record(step, kind));
+                return Err(self.fault_record(step, kind).into());
             }
         }
         Ok(self.into_report())

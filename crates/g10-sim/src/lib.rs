@@ -9,6 +9,10 @@
 //!   gated on the residency of their working set; migrations run
 //!   asynchronously on the modelled channels; stalls, faults and traffic are
 //!   accounted per kernel.
+//! * [`cancel`] — cooperative cancellation: the [`cancel::CancelToken`]
+//!   observed at every engine step boundary, carrying per-request
+//!   deadlines (`--deadline-ms`, the serve daemon) and explicit
+//!   cancellation into the replay loop.
 //! * [`fault`] / [`guard`] — the hardening layer around untrusted policy
 //!   code: the per-step invariant audit ([`guard::InvariantGuard`]), typed
 //!   policy faults ([`fault::PolicyFaultKind`]), panic containment,
@@ -52,6 +56,7 @@
 
 #![warn(clippy::unwrap_used)]
 
+pub mod cancel;
 pub mod engine;
 pub mod fault;
 pub mod guard;
@@ -63,11 +68,12 @@ pub mod runner;
 pub mod session;
 pub mod victim;
 
-pub use engine::{Location, ReplayEngine, RuntimeOptions, VictimSelection};
+pub use cancel::{CancelKind, CancelRecord, CancelToken};
+pub use engine::{EngineError, Location, ReplayEngine, RuntimeOptions, VictimSelection};
 pub use fault::{FaultPlan, FaultRecord, InjectedFault, OnPolicyFault, PolicyFaultKind, Validate};
 pub use metrics::SimReport;
 pub use policy::MemoryPolicy;
-pub use runner::{parallel_map, run_experiment, PolicyKind, Workload};
+pub use runner::{parallel_map, run_experiment, try_parallel_map, PolicyKind, Workload};
 pub use session::{
     register_policy, registered_policy_names, Experiment, PolicyContext, PolicyProvider,
     PolicyRegistry, PolicySpec, SimError,

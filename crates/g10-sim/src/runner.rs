@@ -261,12 +261,44 @@ pub fn run_experiment(
 /// Used by the experiment harness to sweep models / batch sizes / hardware
 /// configurations in parallel.
 ///
+/// A panicking closure no longer unwinds through the thread scope and
+/// aborts the whole sweep: each item runs under
+/// [`crate::fault::catch_policy_panic`] (via [`try_parallel_map`]), every
+/// remaining item still completes, and the first panic *by input order* —
+/// deterministic regardless of worker scheduling — is then re-raised on
+/// the calling thread with the item index and original message.  Callers
+/// that want the per-item outcomes instead should use
+/// [`try_parallel_map`].
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut results = Vec::with_capacity(items.len());
+    for (idx, outcome) in try_parallel_map(items, f).into_iter().enumerate() {
+        match outcome {
+            Ok(result) => results.push(result),
+            Err(message) => panic!("parallel_map: item {idx} panicked: {message}"),
+        }
+    }
+    results
+}
+
+/// [`parallel_map`] with per-item panic containment: each closure call runs
+/// under [`crate::fault::catch_policy_panic`], so a panicking item yields
+/// `Err(panic message)` in its input-order slot while every other item
+/// still runs to completion on its worker.  This is the scheduling kernel
+/// behind both the figure sweeps and the `experiments serve` worker pool,
+/// where one poisoned cell must become a typed per-request error rather
+/// than a dead daemon.
+///
 /// Workers claim items dynamically off a shared atomic counter (so skewed
 /// sweeps — e.g. batch grids in increasing-cost order — stay balanced), but
 /// every result gets its own slot lock: each mutex is taken exactly once,
 /// by the worker that computed that item, so there is no shared lock for
 /// the sweep to serialise on.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+pub fn try_parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<Result<R, String>>
 where
     T: Sync,
     R: Send,
@@ -280,7 +312,7 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
-    let results: Vec<std::sync::Mutex<Option<R>>> =
+    let results: Vec<std::sync::Mutex<Option<Result<R, String>>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -290,7 +322,7 @@ where
                 if idx >= n {
                     break;
                 }
-                let result = f(&items[idx]);
+                let result = crate::fault::catch_policy_panic(|| f(&items[idx]));
                 *results[idx].lock().expect("result slot lock") = Some(result);
             });
         }
@@ -357,6 +389,43 @@ mod tests {
         assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
         let empty: Vec<u64> = Vec::new();
         assert!(parallel_map(empty, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn try_parallel_map_contains_panics_and_finishes_the_sweep() {
+        let items: Vec<u64> = (0..41).collect();
+        let outcomes = try_parallel_map(items, |&x| {
+            if x % 10 == 3 {
+                panic!("poisoned item {x}");
+            }
+            x * 2
+        });
+        assert_eq!(outcomes.len(), 41);
+        for (idx, outcome) in outcomes.iter().enumerate() {
+            if idx % 10 == 3 {
+                assert_eq!(*outcome, Err(format!("poisoned item {idx}")));
+            } else {
+                assert_eq!(*outcome, Ok(idx as u64 * 2), "item {idx} must still run");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_repanics_with_the_first_failure_by_input_order() {
+        let items: Vec<u64> = (0..16).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(items, |&x| {
+                if x == 5 || x == 11 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        let payload = caught.expect_err("the sweep must re-raise the contained panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        assert_eq!(message, "parallel_map: item 5 panicked: boom at 5");
     }
 
     #[test]

@@ -92,7 +92,8 @@
 
 pub mod adversarial;
 
-use crate::engine::{ReplayEngine, RuntimeOptions};
+use crate::cancel::{CancelKind, CancelRecord};
+use crate::engine::{EngineError, ReplayEngine, RuntimeOptions};
 use crate::fault::{
     catch_policy_panic, FaultRecord, InjectedFault, OnPolicyFault, PolicyFaultKind,
 };
@@ -136,6 +137,26 @@ pub enum SimError {
         /// What went wrong.
         kind: PolicyFaultKind,
     },
+    /// The run's [`crate::CancelToken`] deadline (wall-clock or
+    /// deterministic step limit) expired mid-run.  Cancellation never
+    /// triggers fallback degradation — the budget that would pay for a
+    /// re-run is exactly what ran out.
+    DeadlineExceeded {
+        /// The policy that was running, as the caller specified it.
+        policy: String,
+        /// The kernel step at which the expired deadline was observed (0
+        /// when it expired before the run started).
+        step: usize,
+    },
+    /// The run's [`crate::CancelToken`] was explicitly cancelled
+    /// ([`crate::CancelToken::cancel`] — e.g. a serve daemon draining its
+    /// in-flight work past the drain deadline).
+    Cancelled {
+        /// The policy that was running, as the caller specified it.
+        policy: String,
+        /// The kernel step at which the cancellation was observed.
+        step: usize,
+    },
 }
 
 impl SimError {
@@ -171,6 +192,30 @@ impl From<FaultRecord> for SimError {
     }
 }
 
+impl From<CancelRecord> for SimError {
+    fn from(record: CancelRecord) -> Self {
+        match record.kind {
+            CancelKind::DeadlineExceeded => SimError::DeadlineExceeded {
+                policy: record.policy,
+                step: record.step,
+            },
+            CancelKind::Cancelled => SimError::Cancelled {
+                policy: record.policy,
+                step: record.step,
+            },
+        }
+    }
+}
+
+impl From<EngineError> for SimError {
+    fn from(error: EngineError) -> Self {
+        match error {
+            EngineError::Fault(fault) => fault.into(),
+            EngineError::Cancelled(record) => record.into(),
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -187,6 +232,12 @@ impl fmt::Display for SimError {
             }
             SimError::PolicyFault { policy, step, kind } => {
                 write!(f, "policy fault in `{policy}` at step {step}: {kind}")
+            }
+            SimError::DeadlineExceeded { policy, step } => {
+                write!(f, "deadline exceeded in `{policy}` at step {step}")
+            }
+            SimError::Cancelled { policy, step } => {
+                write!(f, "run cancelled in `{policy}` at step {step}")
             }
         }
     }
@@ -260,6 +311,15 @@ impl PolicyContext<'_> {
 /// the Ideal baseline's unbounded GPU, the classic-UVM software overhead of
 /// the G10 ablations.  Implementations must be `Send + Sync` so sweeps can
 /// fan out across threads.
+///
+/// Note that `build()` does not necessarily run on the thread that
+/// registered the provider: `parallel_map` sweeps call it from scoped
+/// worker threads, and the `experiments serve` daemon calls it from
+/// long-lived worker-pool threads handling untrusted network requests.
+/// Providers must not rely on thread-local state, and a slow `build()`
+/// delays cancellation — the run's
+/// [`CancelToken`](crate::CancelToken) is checked before the build and
+/// then only at engine step boundaries.
 ///
 /// # Invariant contract (untrusted policies)
 ///
@@ -881,7 +941,11 @@ impl<'a> Experiment<'a> {
         provider.adjust_options(&mut options);
         let fault = match self.execute_once(workload, spec, provider, planning_trace, options) {
             Ok(report) => return Ok(report),
-            Err(fault) => fault,
+            // Cancellation bypasses fallback degradation entirely: the
+            // caller's budget is spent, so re-running the cell under
+            // another design is exactly the work it asked us not to do.
+            Err(EngineError::Cancelled(record)) => return Err(record.into()),
+            Err(EngineError::Fault(fault)) => fault,
         };
         let fallback_spec = match &self.options.on_policy_fault {
             OnPolicyFault::Fail => return Err(fault.into()),
@@ -909,8 +973,10 @@ impl<'a> Experiment<'a> {
     /// in provider `build()` becomes [`PolicyFaultKind::BuildPanic`], one
     /// during engine construction (the policy's `initial_location` runs
     /// there) or replay becomes a typed fault from
-    /// [`ReplayEngine::try_run`].  Faults are attributed to the caller's
-    /// spec string rather than the policy's self-reported name.
+    /// [`ReplayEngine::try_run`].  Faults and cancellations are attributed
+    /// to the caller's spec string rather than the policy's self-reported
+    /// name.  An already-fired cancel token short-circuits *before* the
+    /// provider build, so an expired deadline never pays for planning.
     fn execute_once(
         &self,
         workload: &Workload,
@@ -918,7 +984,14 @@ impl<'a> Experiment<'a> {
         provider: &dyn PolicyProvider,
         planning_trace: &KernelTrace,
         options: RuntimeOptions,
-    ) -> Result<SimReport, FaultRecord> {
+    ) -> Result<SimReport, EngineError> {
+        if let Some(kind) = options.cancel.as_ref().and_then(|token| token.fired(0)) {
+            return Err(EngineError::Cancelled(CancelRecord {
+                policy: spec.to_string(),
+                step: 0,
+                kind,
+            }));
+        }
         let injected_build_panic = options
             .fault_plan
             .is_some_and(|plan| plan.fault == InjectedFault::BuildPanic);
@@ -933,10 +1006,12 @@ impl<'a> Experiment<'a> {
             }
             provider.build(&ctx)
         })
-        .map_err(|message| FaultRecord {
-            policy: spec.to_string(),
-            step: 0,
-            kind: PolicyFaultKind::BuildPanic { message },
+        .map_err(|message| {
+            EngineError::Fault(FaultRecord {
+                policy: spec.to_string(),
+                step: 0,
+                kind: PolicyFaultKind::BuildPanic { message },
+            })
         })?;
         let contained = catch_policy_panic(|| {
             ReplayEngine::new(
@@ -951,14 +1026,18 @@ impl<'a> Experiment<'a> {
         match contained {
             // A panic that escaped `try_run`'s per-step containment can only
             // have come from engine construction.
-            Err(message) => Err(FaultRecord {
+            Err(message) => Err(EngineError::Fault(FaultRecord {
                 policy: spec.to_string(),
                 step: 0,
                 kind: PolicyFaultKind::BuildPanic { message },
-            }),
-            Ok(Err(mut fault)) => {
+            })),
+            Ok(Err(EngineError::Fault(mut fault))) => {
                 fault.policy = spec.to_string();
-                Err(fault)
+                Err(EngineError::Fault(fault))
+            }
+            Ok(Err(EngineError::Cancelled(mut record))) => {
+                record.policy = spec.to_string();
+                Err(EngineError::Cancelled(record))
             }
             Ok(Ok(report)) => Ok(report),
         }

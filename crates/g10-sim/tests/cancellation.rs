@@ -1,0 +1,170 @@
+//! Cooperative cancellation: a [`CancelToken`] threaded through
+//! [`RuntimeOptions`] must stop a replay at a step boundary with the typed
+//! [`SimError::DeadlineExceeded`] / [`SimError::Cancelled`] — never a
+//! panic, never an invariant-guard fault, and never fallback degradation
+//! (the budget that would pay for a re-run is exactly what ran out).
+
+use g10_core::config::SystemConfig;
+use g10_dnn::models::ModelKind;
+use g10_sim::{
+    CancelToken, Experiment, OnPolicyFault, PolicyKind, RuntimeOptions, SimError, Validate,
+    Workload,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn workload() -> &'static Workload {
+    static WORKLOAD: OnceLock<Workload> = OnceLock::new();
+    WORKLOAD.get_or_init(|| Workload::new(ModelKind::TinyCnn, 4))
+}
+
+fn config() -> SystemConfig {
+    SystemConfig::table2().with_gpu_memory(32 << 20)
+}
+
+fn options_with(cancel: CancelToken) -> RuntimeOptions {
+    RuntimeOptions {
+        cancel: Some(cancel),
+        ..RuntimeOptions::default()
+    }
+}
+
+/// A deterministic step-limit token fired mid-replay surfaces as the typed
+/// deadline error naming the policy and the exact step — with the
+/// invariant audit forced on, so any engine-state corruption caused by
+/// tearing the run would be caught as a fault instead.
+#[test]
+fn step_limit_mid_replay_is_a_typed_deadline_error() {
+    let result = Experiment::new(workload())
+        .policy(PolicyKind::BaseUvm)
+        .config(config())
+        .options(RuntimeOptions {
+            cancel: Some(CancelToken::at_step(3)),
+            validate: Validate::Always,
+            ..RuntimeOptions::default()
+        })
+        .run();
+    assert_eq!(
+        result,
+        Err(SimError::DeadlineExceeded {
+            policy: "Base UVM".to_string(),
+            step: 3,
+        })
+    );
+}
+
+/// An already-expired wall-clock deadline is observed before the provider
+/// even builds: step 0, no replay work done.
+#[test]
+fn expired_deadline_is_observed_before_the_run_starts() {
+    let token = CancelToken::with_deadline(Duration::from_millis(0));
+    let result = Experiment::new(workload())
+        .policy(PolicyKind::G10Full)
+        .config(config())
+        .options(options_with(token))
+        .run();
+    assert_eq!(
+        result,
+        Err(SimError::DeadlineExceeded {
+            policy: "G10".to_string(),
+            step: 0,
+        })
+    );
+}
+
+/// Explicit cancellation reports the distinct `Cancelled` variant, and its
+/// rendering matches the daemon's error surface.
+#[test]
+fn explicit_cancellation_is_typed_and_readable() {
+    let token = CancelToken::new();
+    token.cancel();
+    let result = Experiment::new(workload())
+        .policy(PolicyKind::Ideal)
+        .config(config())
+        .options(options_with(token))
+        .run();
+    let err = result.expect_err("cancelled run must fail");
+    assert_eq!(
+        err,
+        SimError::Cancelled {
+            policy: "Ideal".to_string(),
+            step: 0,
+        }
+    );
+    assert_eq!(err.to_string(), "run cancelled in `Ideal` at step 0");
+}
+
+/// Cancellation must not trigger fallback degradation: even with a
+/// fallback configured, an expired deadline is returned as-is rather than
+/// burning more budget on the fallback design.
+#[test]
+fn cancellation_bypasses_fallback_degradation() {
+    let result = Experiment::new(workload())
+        .policy(PolicyKind::BaseUvm)
+        .config(config())
+        .options(RuntimeOptions {
+            cancel: Some(CancelToken::at_step(2)),
+            on_policy_fault: OnPolicyFault::FallbackTo(PolicyKind::Ideal.into()),
+            ..RuntimeOptions::default()
+        })
+        .run();
+    assert_eq!(
+        result,
+        Err(SimError::DeadlineExceeded {
+            policy: "Base UVM".to_string(),
+            step: 2,
+        })
+    );
+}
+
+/// A token that never fires leaves the report bit-identical to an
+/// uncancelled run — the pure-read check is invisible when it never trips.
+#[test]
+fn unfired_token_does_not_perturb_the_replay() {
+    let baseline = Experiment::new(workload())
+        .policy(PolicyKind::BaseUvm)
+        .config(config())
+        .run()
+        .expect("baseline run");
+    let watched = Experiment::new(workload())
+        .policy(PolicyKind::BaseUvm)
+        .config(config())
+        .options(options_with(CancelToken::new()))
+        .run()
+        .expect("watched run");
+    assert_eq!(baseline, watched);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cancellation at an arbitrary step never panics any built-in policy:
+    /// the outcome is either a completed report (limit beyond the trace)
+    /// or the typed deadline error at exactly the requested step, with the
+    /// invariant audit on throughout.
+    #[test]
+    fn cancellation_at_any_step_never_panics(
+        step in 0usize..64,
+        policy_index in 0usize..PolicyKind::ALL.len(),
+    ) {
+        let policy = PolicyKind::ALL[policy_index];
+        let result = Experiment::new(workload())
+            .policy(policy)
+            .config(config())
+            .options(RuntimeOptions {
+                cancel: Some(CancelToken::at_step(step)),
+                validate: Validate::Always,
+                ..RuntimeOptions::default()
+            })
+            .run();
+        match result {
+            Ok(report) => prop_assert!(
+                report.kernel_slowdowns.len() <= step,
+                "a run shorter than the limit must complete untouched"
+            ),
+            Err(SimError::DeadlineExceeded { step: at, .. }) => prop_assert_eq!(at, step),
+            Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+        }
+    }
+}

@@ -106,4 +106,78 @@ grep -q 'step-panic@2 in `DeepUM+`' "$OUT_DIR/fallback.log" || {
     exit 1
 }
 
+# Experiment service: start the daemon on an ephemeral port against the
+# store the cache passes populated, and drive it through `experiments
+# submit` — the same wire client the integration tests use.  A duplicate
+# request must be a cache hit, a fault-injected request must fail typed
+# while the daemon stays healthy, and shutdown must drain cleanly.
+SERVE_LOG="$OUT_DIR/serve.log"
+step "experiment service: starting daemon (ephemeral port)"
+cargo run "$PROFILE_FLAG" -q -p g10-bench --bin experiments -- \
+    serve --addr 127.0.0.1:0 --cache-dir "$CACHE_DIR" >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$OUT_DIR"' EXIT
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$SERVE_LOG" && break
+    sleep 0.1
+done
+ADDR="$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$SERVE_LOG" | head -n 1)"
+test -n "$ADDR" || {
+    echo "error: daemon never printed its listening address" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+}
+submit() {
+    cargo run "$PROFILE_FLAG" -q -p g10-bench --bin experiments -- \
+        submit --addr "$ADDR" "$@"
+}
+
+step "experiment service: /healthz"
+# Capture-then-grep: `grep -q` closes the pipe as soon as it matches,
+# which under `pipefail` would count the SIGPIPE'd client as a failure.
+submit --health >"$OUT_DIR/health1.log"
+grep -q '"status": "ok"' "$OUT_DIR/health1.log" || {
+    echo "error: daemon failed its health probe" >&2
+    exit 1
+}
+
+step "experiment service: duplicate request is a cache hit"
+submit --model tinycnn --batch 16 --policy g10 | tee "$OUT_DIR/serve1.log"
+submit --model tinycnn --batch 16 --policy g10 | tee "$OUT_DIR/serve2.log"
+grep -Eq 'source=(memory|disk)' "$OUT_DIR/serve2.log" || {
+    echo "error: repeated request must be served from a cache" >&2
+    exit 1
+}
+
+step "experiment service: fault-injected request fails typed, daemon stays healthy"
+if submit --model tinycnn --batch 16 --policy base-uvm --inject-fault 2:step-panic \
+    >"$OUT_DIR/serve_fault.log" 2>&1; then
+    echo "error: fault-injected submit must exit non-zero" >&2
+    exit 1
+fi
+grep -q 'policy-fault (500): policy fault in `Base UVM` at step 2' "$OUT_DIR/serve_fault.log" || {
+    echo "error: fault-injected submit must print the typed service error" >&2
+    cat "$OUT_DIR/serve_fault.log" >&2
+    exit 1
+}
+submit --health >"$OUT_DIR/health2.log"
+grep -q '"status": "ok"' "$OUT_DIR/health2.log" || {
+    echo "error: daemon must stay healthy after a contained policy fault" >&2
+    exit 1
+}
+
+step "experiment service: graceful shutdown"
+submit --shutdown >/dev/null
+if ! wait "$SERVE_PID"; then
+    echo "error: daemon must drain and exit zero on shutdown" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+grep -q 'drained and stopped' "$SERVE_LOG" || {
+    echo "error: daemon log must record the completed drain" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+}
+trap 'rm -rf "$OUT_DIR"' EXIT
+
 printf '\nkick-tires: all steps passed.\n'
