@@ -9,6 +9,8 @@
 //!   fig17 fig18 fig19 lifetime all
 //!   run --model <name> [--batch N] [--policy <name>[,<name>...]]
 //!       [--gpu-mib N]
+//!   multi [--tenants N] [--stress] [--policy <name>[,<name>...]]
+//!       [--gpu-mib N]
 //!   bench snapshot [--full]
 //!   bench compare <baseline.json> <fresh.json>
 //!       [--min-speedup-ratio X] [--max-wall-ratio X]
@@ -33,6 +35,14 @@
 //! CLI without touching this binary.  `--batch` defaults to the model's
 //! evaluation batch and `--gpu-mib` overrides the Table 2 GPU capacity.
 //!
+//! The `multi` command replays a tenant mix — `--tenants N` concurrent
+//! jobs with staggered arrivals, priorities and GPU quotas sharing one
+//! simulated device — under each named policy, and writes two CSVs:
+//! `multi_throughput.csv` (aggregate samples/s and worst slowdown per
+//! policy) and `multi_slowdown.csv` (per-job slowdown vs the solo
+//! baseline).  `--stress` swaps the tiny-model mix for synthetic GPT
+//! training jobs.
+//!
 //! `bench snapshot` emits a `BENCH_<n>.json` perf-trajectory snapshot
 //! (head-to-head pillar timings + the full grid) under the output
 //! directory, and `bench compare` gates a fresh snapshot against a
@@ -42,12 +52,13 @@
 use g10_bench::experiments::{self, run_cache_stats, set_run_store, EndToEndRuns};
 use g10_bench::json::Json;
 use g10_bench::output::{write_csv, Table};
-use g10_bench::serve::{self, RunRequest, ServeOptions};
+use g10_bench::serve::{self, JobRequest, RunRequest, ServeOptions};
 use g10_bench::store::RunStore;
 use g10_bench::trajectory::{self, CompareOptions, SnapshotMode};
 use g10_core::config::SystemConfig;
 use g10_dnn::models::ModelKind;
-use g10_sim::{CancelToken, FaultPlan, OnPolicyFault, PolicySpec, RuntimeOptions};
+use g10_sim::{CancelToken, FaultPlan, JobSpec, OnPolicyFault, PolicySpec, RuntimeOptions};
+use g10_time::Nanos;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -110,6 +121,14 @@ struct Flags {
     drain_ms: Option<u64>,
     /// `cache gc --max-mib`: target store size.
     max_mib: Option<u64>,
+    /// `multi --tenants`: number of concurrent jobs in the mix.
+    tenants: Option<usize>,
+    /// `submit --jobs`: comma-separated multi-job mix, each job written
+    /// `model[:batch[:priority[:quota_mib[:arrival_us]]]]`.
+    jobs: Option<String>,
+    /// `multi --stress`: synthetic GPT training jobs instead of the tiny
+    /// default mix.
+    stress_mix: bool,
     /// `submit --health`: probe `GET /healthz` instead of running.
     health: bool,
     /// `submit --stats`: fetch `GET /stats` instead of running.
@@ -176,6 +195,75 @@ fn custom_run(flags: &Flags, out_dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// The `multi` command: a tenant mix replayed under each named policy,
+/// reduced to throughput and per-job-slowdown CSVs.
+fn multi_cmd(flags: &Flags, out_dir: &Path) -> Result<(), String> {
+    let tenants = flags.tenants.unwrap_or(3);
+    if tenants == 0 {
+        return Err("--tenants must be at least 1".to_string());
+    }
+    let policies: Vec<String> = flags
+        .policies
+        .as_deref()
+        .unwrap_or("base-uvm,g10,tensile")
+        .split(',')
+        .map(|name| name.trim().to_string())
+        .filter(|name| !name.is_empty())
+        .collect();
+    if policies.is_empty() {
+        return Err("--policy needs at least one policy name".to_string());
+    }
+    let mut config = SystemConfig::table2();
+    if let Some(gpu_mib) = flags.gpu_mib {
+        if gpu_mib == 0 || gpu_mib > (u64::MAX >> 20) {
+            return Err(format!(
+                "--gpu-mib must be between 1 and {} MiB",
+                u64::MAX >> 20
+            ));
+        }
+        config = config.with_gpu_memory(gpu_mib << 20);
+    }
+    let jobs = if let Some(entries) = &flags.jobs {
+        if flags.stress_mix || flags.tenants.is_some() {
+            return Err("--jobs is an explicit mix; drop --tenants/--stress".to_string());
+        }
+        let requests = entries
+            .split(',')
+            .map(str::trim)
+            .filter(|entry| !entry.is_empty())
+            .map(parse_job)
+            .collect::<Result<Vec<_>, _>>()?;
+        if requests.is_empty() {
+            return Err("--jobs needs at least one model[:batch:...] entry".to_string());
+        }
+        requests
+            .iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let mut spec = JobSpec::new(
+                    format!("job-{i}-{}", job.model.name()),
+                    experiments::workload(job.model, job.batch),
+                )
+                .priority(job.priority)
+                .arrival(Nanos::from_micros(job.arrival_us));
+                if let Some(mib) = job.quota_mib {
+                    spec = spec.quota_bytes(mib << 20);
+                }
+                spec
+            })
+            .collect()
+    } else if flags.stress_mix {
+        experiments::stress_tenant_mix(tenants)
+    } else {
+        experiments::default_tenant_mix(tenants)
+    };
+    let tables = experiments::multi_tenant_tables(&jobs, &policies, &config)
+        .map_err(|err| err.to_string())?;
+    emit(&tables[0], out_dir, "multi_throughput");
+    emit(&tables[1], out_dir, "multi_slowdown");
+    Ok(())
+}
+
 /// The `serve` command: run the experiment daemon until shutdown.
 fn serve_cmd(flags: &Flags) -> Result<(), String> {
     let mut options = ServeOptions::default();
@@ -198,6 +286,47 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         options.drain_ms = ms;
     }
     serve::serve(&options)
+}
+
+/// Parses one `--jobs` entry:
+/// `model[:batch[:priority[:quota_mib[:arrival_us]]]]`.
+fn parse_job(entry: &str) -> Result<JobRequest, String> {
+    let mut parts = entry.split(':');
+    let model: ModelKind = parts
+        .next()
+        .filter(|name| !name.is_empty())
+        .ok_or_else(|| format!("--jobs entry {entry:?} is missing a model name"))?
+        .parse()?;
+    let mut field = |name: &str| -> Result<Option<u64>, String> {
+        match parts.next() {
+            None | Some("") | Some("-") => Ok(None),
+            Some(text) => text
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("--jobs entry {entry:?}: {name} must be an integer")),
+        }
+    };
+    let batch = field("batch")?.unwrap_or_else(|| model.eval_batch());
+    let priority = field("priority")?.unwrap_or(1);
+    let quota_mib = field("quota_mib")?;
+    let arrival_us = field("arrival_us")?.unwrap_or(0);
+    if parts.next().is_some() {
+        return Err(format!("--jobs entry {entry:?} has too many fields"));
+    }
+    if batch == 0 {
+        return Err(format!("--jobs entry {entry:?}: batch must be at least 1"));
+    }
+    let priority = u8::try_from(priority)
+        .ok()
+        .filter(|&p| p > 0)
+        .ok_or_else(|| format!("--jobs entry {entry:?}: priority must be between 1 and 255"))?;
+    Ok(JobRequest {
+        model,
+        batch,
+        priority,
+        quota_mib,
+        arrival_us,
+    })
 }
 
 /// The `submit` command: one exchange against a running daemon.  Shares
@@ -227,20 +356,37 @@ fn submit(flags: &Flags) -> Result<(), String> {
     if flags.shutdown {
         return probe("POST", "/shutdown");
     }
-    let model: ModelKind = flags
-        .model
-        .as_deref()
-        .ok_or_else(|| {
-            "submit requires --model <name> (or --health/--stats/--shutdown)".to_string()
-        })?
-        .parse()?;
+    let jobs: Vec<JobRequest> = match &flags.jobs {
+        Some(entries) => entries
+            .split(',')
+            .map(str::trim)
+            .filter(|entry| !entry.is_empty())
+            .map(parse_job)
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    let model: ModelKind = match (&flags.model, jobs.first()) {
+        (Some(name), _) => name.parse()?,
+        (None, Some(job)) => job.model,
+        (None, None) => {
+            return Err(
+                "submit requires --model <name> or --jobs (or --health/--stats/--shutdown)"
+                    .to_string(),
+            )
+        }
+    };
+    let batch = flags
+        .batch
+        .or_else(|| jobs.first().map(|job| job.batch))
+        .unwrap_or_else(|| model.eval_batch());
     let request = RunRequest {
         model,
-        batch: flags.batch.unwrap_or_else(|| model.eval_batch()),
+        batch,
         policy: flags.policies.clone().unwrap_or_else(|| "g10".to_string()),
         gpu_mib: flags.gpu_mib,
         deadline_ms: flags.deadline_ms,
         inject_fault: flags.inject_fault,
+        jobs,
     };
     let (status, body) = serve::exchange(addr, "POST", "/run", Some(&request.to_json()), timeout)?;
     let summary = serve::summarize(status, &body);
@@ -337,6 +483,7 @@ fn bench_compare(flags: &Flags, baseline_path: &str, fresh_path: &str) -> Result
 fn run(command: &str, flags: &Flags, out_dir: &Path) -> Result<(), String> {
     match command {
         "run" => custom_run(flags, out_dir)?,
+        "multi" => multi_cmd(flags, out_dir)?,
         "table1" => emit(&experiments::table1(), out_dir, "table1"),
         "table2" => emit(&experiments::table2(), out_dir, "table2"),
         "fig2" => emit_all(&experiments::fig2(), out_dir, "fig2"),
@@ -512,6 +659,24 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" => match iter.next() {
+                Some(jobs) => flags.jobs = Some(jobs.clone()),
+                None => {
+                    eprintln!(
+                        "error: --jobs needs a comma-separated list of \
+                         model[:batch[:priority[:quota_mib[:arrival_us]]]] entries"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--tenants" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(tenants)) if tenants > 0 => flags.tenants = Some(tenants),
+                _ => {
+                    eprintln!("error: --tenants needs a positive integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stress" => flags.stress_mix = true,
             "--health" => flags.health = true,
             "--stats" => flags.stats = true,
             "--shutdown" => flags.shutdown = true,
@@ -539,12 +704,19 @@ fn main() -> ExitCode {
                      \x20      experiments run --model <name> [--batch N] [--gpu-mib N]\n\
                      \x20                  [--policy <name>[,<name>...]] [--deadline-ms N]\n\
                      \n\
+                     multi-tenant replay (concurrent jobs, one simulated GPU):\n\
+                     \x20      experiments multi [--tenants N] [--stress] [--gpu-mib N]\n\
+                     \x20                  [--policy <name>[,<name>...]]\n\
+                     \n\
                      experiment service (see README \"Experiment service\"):\n\
                      \x20      experiments serve [--addr HOST:PORT] [--workers N]\n\
                      \x20                  [--queue-depth N] [--queue-mib N] [--drain-ms N]\n\
                      \x20      experiments submit --addr HOST:PORT --model <name> [--batch N]\n\
                      \x20                  [--policy <name>] [--gpu-mib N] [--deadline-ms N]\n\
                      \x20                  [--inject-fault STEP:KIND]\n\
+                     \x20      experiments submit --addr HOST:PORT --jobs \
+                     model[:batch[:prio[:quota_mib[:arrival_us]]]],...\n\
+                     \x20                  [--policy <name>] [--gpu-mib N] [--deadline-ms N]\n\
                      \x20      experiments submit --addr HOST:PORT --health|--stats|--shutdown\n\
                      \n\
                      persistent store maintenance:\n\

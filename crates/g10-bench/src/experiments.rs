@@ -8,12 +8,13 @@
 use crate::output::Table;
 use crate::store::{RunKey, RunStore};
 use g10_core::config::SystemConfig;
+use g10_dnn::models::stress::StressGptConfig;
 use g10_dnn::models::ModelKind;
 use g10_dnn::stats::{fraction_longer_than, inactive_periods, memory_consumption};
 use g10_sim::metrics::SimReport;
 use g10_sim::{
-    parallel_map, CancelRecord, CancelToken, Experiment, OnPolicyFault, PolicyKind, PolicySpec,
-    RuntimeOptions, SimError, Validate, Workload,
+    parallel_map, register_tensile, CancelRecord, CancelToken, Experiment, JobSpec, OnPolicyFault,
+    PolicyKind, PolicySpec, RuntimeOptions, SimError, Validate, Workload,
 };
 use g10_ssd::EnduranceModel;
 use g10_time::Nanos;
@@ -467,6 +468,152 @@ pub fn custom_run_with_options(
         ]);
     }
     Ok(table)
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant replay
+// ---------------------------------------------------------------------------
+
+/// The repeating (model, batch, priority, quota) pattern behind
+/// [`default_tenant_mix`]: a high-priority well-provisioned job, a
+/// mid-priority job at half its footprint, and a low-priority job squeezed
+/// into a small quota.  Tiny models keep the mix cheap enough for CI.
+const TENANT_MIX_PATTERN: [(ModelKind, u64, u8, u64); 3] = [
+    (ModelKind::TinyCnn, 64, 4, 40 << 20),
+    (ModelKind::TinyCnn, 32, 2, 24 << 20),
+    (ModelKind::TinyTransformer, 32, 1, 8 << 20),
+];
+
+/// Deterministic display name of the `i`-th tenant: `tenant-a` … `tenant-z`,
+/// then `tenant-a1` and so on.
+fn tenant_name(i: usize) -> String {
+    let letter = (b'a' + (i % 26) as u8) as char;
+    if i < 26 {
+        format!("tenant-{letter}")
+    } else {
+        format!("tenant-{letter}{}", i / 26)
+    }
+}
+
+/// The canonical tenant mix behind `experiments multi`: `tenants` jobs
+/// cycling through a fixed (model, batch, priority, quota) pattern, with
+/// arrivals staggered 20 µs
+/// apart so later tenants queue behind the incumbents.  Workloads come from
+/// the shared [`workload`] cache, so the solo baselines inside
+/// [`g10_sim::MultiExperiment::run_multi`] reuse the profiled graphs.
+pub fn default_tenant_mix(tenants: usize) -> Vec<JobSpec> {
+    (0..tenants)
+        .map(|i| {
+            let (model, batch, priority, quota) = TENANT_MIX_PATTERN[i % TENANT_MIX_PATTERN.len()];
+            JobSpec::new(tenant_name(i), workload(model, batch))
+                .arrival(Nanos::from_micros(20 * i as u64))
+                .priority(priority)
+                .quota_bytes(quota)
+        })
+        .collect()
+}
+
+/// A heavier mix for stress runs (`experiments multi --stress`): synthetic
+/// GPT-style training jobs of staggered depths sharing the device, with the
+/// same cycling priorities and quotas as [`default_tenant_mix`].  Stress
+/// workloads are built fresh (they are not part of the figure grid's
+/// memoized cells).
+pub fn stress_tenant_mix(tenants: usize) -> Vec<JobSpec> {
+    (0..tenants)
+        .map(|i| {
+            let (_, _, priority, quota) = TENANT_MIX_PATTERN[i % TENANT_MIX_PATTERN.len()];
+            let layers = 3 + 2 * (i % 3) as u64;
+            let workload = Arc::new(Workload::stress(8, &StressGptConfig::with_layers(layers)));
+            JobSpec::new(tenant_name(i), workload)
+                .arrival(Nanos::from_micros(50 * i as u64))
+                .priority(priority)
+                .quota_bytes(quota)
+        })
+        .collect()
+}
+
+/// The driver behind `experiments multi`: one tenant mix replayed under a
+/// list of policy names, reduced to two Figure-style tables — aggregate
+/// throughput per policy, and per-job slowdown vs the solo baseline.
+///
+/// Policy names resolve through [`PolicySpec`] parsing after the
+/// cross-job-aware `tensile` design is registered, so `base-uvm,g10,tensile`
+/// (the CLI default) and anything registered via
+/// [`g10_sim::register_policy`] all work.  Multi-tenant runs never touch the
+/// run caches: a job's report depends on the whole mix, not just its own
+/// cell key.
+pub fn multi_tenant_tables(
+    jobs: &[JobSpec],
+    policy_names: &[String],
+    config: &SystemConfig,
+) -> Result<Vec<Table>, SimError> {
+    register_tensile();
+    let specs: Vec<PolicySpec> = policy_names
+        .iter()
+        .map(|name| name.parse())
+        .collect::<Result<_, _>>()?;
+    let mut throughput = Table::new(
+        "Multi-tenant throughput",
+        &[
+            "policy",
+            "tenants",
+            "makespan_s",
+            "aggregate_throughput",
+            "max_slowdown",
+        ],
+    );
+    let mut slowdown = Table::new(
+        "Multi-tenant per-job slowdown",
+        &[
+            "policy",
+            "job",
+            "model",
+            "batch",
+            "priority",
+            "quota_mib",
+            "arrival_us",
+            "solo_s",
+            "multi_s",
+            "slowdown",
+            "evictions",
+            "migrated_out_gb",
+            "restarts",
+        ],
+    );
+    for (name, spec) in policy_names.iter().zip(specs) {
+        let report = Experiment::jobs(jobs.iter().cloned())
+            .policy(spec)
+            .config(*config)
+            .run_multi()?;
+        throughput.push_row(vec![
+            name.clone(),
+            report.jobs.len().to_string(),
+            format!("{:.6}", report.makespan.as_secs_f64()),
+            format!("{:.3}", report.aggregate_throughput()),
+            format!("{:.3}", report.max_slowdown()),
+        ]);
+        for job in &report.jobs {
+            slowdown.push_row(vec![
+                name.clone(),
+                job.name.clone(),
+                job.report.model.clone(),
+                job.report.batch.to_string(),
+                job.priority.to_string(),
+                match job.quota_bytes {
+                    Some(quota) => (quota >> 20).to_string(),
+                    None => "-".to_string(),
+                },
+                (job.arrival.as_nanos() / 1_000).to_string(),
+                format!("{:.6}", job.solo_time.as_secs_f64()),
+                format!("{:.6}", job.multi_time().as_secs_f64()),
+                format!("{:.3}", job.slowdown),
+                job.usage.evictions.to_string(),
+                format!("{:.2}", job.usage.bytes_out as f64 / GB),
+                job.restarts.to_string(),
+            ]);
+        }
+    }
+    Ok(vec![throughput, slowdown])
 }
 
 // ---------------------------------------------------------------------------
@@ -1144,6 +1291,38 @@ mod tests {
             &config.with_gpu_memory(47 << 20),
         );
         assert!(other.total_time >= first.total_time);
+    }
+
+    #[test]
+    fn multi_tables_cover_every_policy_and_job_deterministically() {
+        let jobs = default_tenant_mix(2);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].name, "tenant-a");
+        assert!(jobs[1].arrival > jobs[0].arrival);
+        let policies = vec!["base-uvm".to_string(), "tensile".to_string()];
+        let config = SystemConfig::table2().with_gpu_memory(64 << 20);
+        let tables = multi_tenant_tables(&jobs, &policies, &config).expect("mix runs");
+        assert_eq!(tables.len(), 2);
+        let (throughput, slowdown) = (&tables[0], &tables[1]);
+        assert_eq!(throughput.len(), policies.len());
+        assert_eq!(slowdown.len(), policies.len() * jobs.len());
+        // The CSVs the CLI writes must be byte-identical run to run.
+        let again = multi_tenant_tables(&jobs, &policies, &config).expect("mix runs");
+        assert_eq!(throughput.to_csv(), again[0].to_csv());
+        assert_eq!(slowdown.to_csv(), again[1].to_csv());
+        // An unknown policy fails the whole run with the typed error.
+        let err = multi_tenant_tables(&jobs, &["no-such-design".to_string()], &config).unwrap_err();
+        assert!(matches!(err, SimError::UnknownPolicy { .. }));
+    }
+
+    #[test]
+    fn stress_mix_cycles_priorities_and_staggers_arrivals() {
+        let jobs = stress_tenant_mix(4);
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].priority, 4);
+        assert_eq!(jobs[3].priority, 4, "pattern cycles past its length");
+        assert!(jobs.windows(2).all(|w| w[0].arrival < w[1].arrival));
+        assert!(jobs.iter().all(|job| job.quota_bytes.is_some()));
     }
 
     #[test]

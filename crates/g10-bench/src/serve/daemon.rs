@@ -298,6 +298,9 @@ fn route(
                     },
                 )) => {
                     stats.shed.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .tenants_shed
+                        .fetch_add(job.request.jobs.len() as u64, Ordering::Relaxed);
                     let mut stream = job.stream;
                     respond(
                         &mut stream,
@@ -314,6 +317,9 @@ fn route(
                 }
                 Err((job, AdmissionError::Closed)) => {
                     stats.shed.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .tenants_shed
+                        .fetch_add(job.request.jobs.len() as u64, Ordering::Relaxed);
                     let mut stream = job.stream;
                     respond(
                         &mut stream,

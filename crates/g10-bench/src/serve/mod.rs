@@ -30,4 +30,4 @@ pub mod worker;
 
 pub use client::{exchange, summarize};
 pub use daemon::{serve, ServeOptions};
-pub use protocol::{report_fingerprint, RunRequest};
+pub use protocol::{report_fingerprint, JobRequest, RunRequest};

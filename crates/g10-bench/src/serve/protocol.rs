@@ -122,10 +122,26 @@ pub fn write_response(
 // Run requests
 // ---------------------------------------------------------------------------
 
+/// One tenant of a multi-job request: an entry of the `jobs: [...]` array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Model name (any [`ModelKind`] alias).
+    pub model: ModelKind,
+    /// Batch size; defaults to the model's evaluation batch.
+    pub batch: u64,
+    /// Stride-scheduling priority (defaults to 1).
+    pub priority: u8,
+    /// Optional per-tenant GPU quota in MiB.
+    pub quota_mib: Option<u64>,
+    /// Arrival offset on the device clock, in microseconds (defaults to 0).
+    pub arrival_us: u64,
+}
+
 /// One experiment request, as posted to `POST /run`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRequest {
-    /// Model name (any [`ModelKind`] alias).
+    /// Model name (any [`ModelKind`] alias).  For multi-job requests this
+    /// mirrors the first job's model (the wire body may omit it).
     pub model: ModelKind,
     /// Batch size; defaults to the model's evaluation batch.
     pub batch: u64,
@@ -139,6 +155,10 @@ pub struct RunRequest {
     /// Deterministic fault injection, `"<step>:<kind>"` as accepted by
     /// `--inject-fault`.
     pub inject_fault: Option<FaultPlan>,
+    /// Multi-tenant mix: when non-empty the request replays these jobs
+    /// concurrently on one simulated device via the tenancy subsystem
+    /// (`g10_sim::MultiExperiment`) instead of one solo cell.
+    pub jobs: Vec<JobRequest>,
 }
 
 impl RunRequest {
@@ -152,13 +172,36 @@ impl RunRequest {
     /// error — the registry is consulted at run time so the error carries
     /// the live list of known names.
     pub fn from_json(value: &Json) -> Result<RunRequest, String> {
-        let model: ModelKind = value
-            .get("model")
-            .and_then(Json::as_str)
-            .ok_or_else(|| "missing field: model".to_string())?
-            .parse()?;
+        let jobs = match value.get("jobs") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(Json::Arr(entries)) => {
+                if entries.is_empty() {
+                    return Err("jobs must name at least one job".to_string());
+                }
+                entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, entry)| {
+                        JobRequest::from_json(entry).map_err(|err| format!("jobs[{i}]: {err}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            Some(_) => return Err("jobs must be an array".to_string()),
+        };
+        // Multi-job bodies may omit the top-level model; the first job
+        // stands in so single-job invariants (and `estimated_cost`) hold.
+        let model: ModelKind = match value.get("model").and_then(Json::as_str) {
+            Some(name) => name.parse()?,
+            None => match jobs.first() {
+                Some(job) => job.model,
+                None => return Err("missing field: model".to_string()),
+            },
+        };
         let batch = match value.get("batch") {
-            None | Some(Json::Null) => model.eval_batch(),
+            None | Some(Json::Null) => match jobs.first() {
+                Some(job) => job.batch,
+                None => model.eval_batch(),
+            },
             Some(v) => v
                 .as_u64()
                 .filter(|&b| b > 0)
@@ -200,6 +243,7 @@ impl RunRequest {
             gpu_mib,
             deadline_ms,
             inject_fault,
+            jobs,
         })
     }
 
@@ -222,6 +266,10 @@ impl RunRequest {
                 Json::Str(format!("{}:{}", plan.step, plan.fault.tag())),
             ));
         }
+        let jobs = Json::Arr(self.jobs.iter().map(JobRequest::to_json).collect());
+        if !self.jobs.is_empty() {
+            entries.push(("jobs", jobs));
+        }
         obj(entries)
     }
 
@@ -229,9 +277,85 @@ impl RunRequest {
     /// queue's byte cap.  The dominant memory of a queued-then-running
     /// request scales with the workload's tensor footprint, which scales
     /// with batch; the constant is deliberately generous so the cap sheds
-    /// early rather than precisely.
+    /// early rather than precisely.  A multi-job request costs the sum of
+    /// its tenants (each holds a workload plus a solo baseline replay).
     pub fn estimated_cost(&self) -> u64 {
-        self.batch.saturating_mul(1 << 20).max(1 << 20)
+        if self.jobs.is_empty() {
+            self.batch.saturating_mul(1 << 20).max(1 << 20)
+        } else {
+            self.jobs
+                .iter()
+                .map(|job| job.batch.saturating_mul(1 << 20).max(1 << 20))
+                .fold(0u64, u64::saturating_add)
+        }
+    }
+}
+
+impl JobRequest {
+    /// Parses one `jobs: [...]` entry; same field conventions as the
+    /// top-level request (`model` required, everything else defaulted).
+    ///
+    /// # Errors
+    ///
+    /// Returns a 400-ready message naming the offending field.
+    pub fn from_json(value: &Json) -> Result<JobRequest, String> {
+        let model: ModelKind = value
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing field: model".to_string())?
+            .parse()?;
+        let batch = match value.get("batch") {
+            None | Some(Json::Null) => model.eval_batch(),
+            Some(v) => v
+                .as_u64()
+                .filter(|&b| b > 0)
+                .ok_or_else(|| "batch must be a positive integer".to_string())?,
+        };
+        let priority = match value.get("priority") {
+            None | Some(Json::Null) => 1,
+            Some(v) => v
+                .as_u64()
+                .filter(|&p| (1..=u64::from(u8::MAX)).contains(&p))
+                .ok_or_else(|| "priority must be between 1 and 255".to_string())?
+                as u8,
+        };
+        let quota_mib = match value.get("quota_mib") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&mib| mib > 0 && mib <= (u64::MAX >> 20))
+                    .ok_or_else(|| "quota_mib out of range".to_string())?,
+            ),
+        };
+        let arrival_us = match value.get("arrival_us") {
+            None | Some(Json::Null) => 0,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| "arrival_us must be a non-negative integer".to_string())?,
+        };
+        Ok(JobRequest {
+            model,
+            batch,
+            priority,
+            quota_mib,
+            arrival_us,
+        })
+    }
+
+    /// Renders one `jobs: [...]` entry.
+    pub fn to_json(&self) -> Json {
+        let mut entries = vec![
+            ("model", Json::Str(self.model.name().to_string())),
+            ("batch", Json::Num(self.batch as f64)),
+            ("priority", Json::Num(f64::from(self.priority))),
+        ];
+        if let Some(mib) = self.quota_mib {
+            entries.push(("quota_mib", Json::Num(mib as f64)));
+        }
+        if self.arrival_us > 0 {
+            entries.push(("arrival_us", Json::Num(self.arrival_us as f64)));
+        }
+        obj(entries)
     }
 }
 
@@ -311,26 +435,64 @@ pub fn ok_body(source: &str, report: &g10_sim::SimReport) -> Json {
     ])
 }
 
-/// FNV-1a over the report's timing bit patterns.  Two reports fingerprint
-/// equal iff their times and full slowdown vectors are bit-identical — the
+/// Builds the success body of a multi-job request: mix-level aggregates
+/// plus one compact summary per tenant, each carrying the same canonical
+/// per-report fingerprint single-job responses expose (the mix-level
+/// `fingerprint` is [`g10_sim::MultiReport::fingerprint`], which folds the
+/// job digests with their scheduling instants).
+pub fn ok_multi_body(report: &g10_sim::MultiReport) -> Json {
+    let jobs = report
+        .jobs
+        .iter()
+        .map(|job| {
+            obj(vec![
+                ("name", Json::Str(job.name.clone())),
+                ("model", Json::Str(job.report.model.clone())),
+                ("batch", Json::Num(job.report.batch as f64)),
+                ("priority", Json::Num(f64::from(job.priority))),
+                ("slowdown", Json::Num(job.slowdown)),
+                ("finished_ns", Json::Num(u64::from(job.finished) as f64)),
+                ("restarts", Json::Num(f64::from(job.restarts))),
+                (
+                    "fingerprint",
+                    Json::Str(format!("{:016x}", job.report.fingerprint())),
+                ),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("status", Json::Str("ok".to_string())),
+        ("source", Json::Str("multi".to_string())),
+        (
+            "report",
+            obj(vec![
+                ("policy", Json::Str(report.policy.clone())),
+                ("tenants", Json::Num(report.jobs.len() as f64)),
+                ("makespan_ns", Json::Num(u64::from(report.makespan) as f64)),
+                (
+                    "aggregate_throughput",
+                    Json::Num(report.aggregate_throughput()),
+                ),
+                ("max_slowdown", Json::Num(report.max_slowdown())),
+                (
+                    "fingerprint",
+                    Json::Str(format!("{:016x}", report.fingerprint())),
+                ),
+                ("jobs", Json::Arr(jobs)),
+            ]),
+        ),
+    ])
+}
+
+/// The canonical report digest ([`g10_sim::SimReport::fingerprint`]): two
+/// reports fingerprint equal iff every numeric field — times, full
+/// slowdown vector, traffic, counters — is bit-identical.  The
 /// cross-restart byte-identity check the store already guarantees, made
-/// observable over the wire.
+/// observable over the wire, with the same value the golden-report and
+/// session-equivalence suites pin.  (This used to be a third local FNV-1a
+/// implementation over a narrower field subset.)
 pub fn report_fingerprint(report: &g10_sim::SimReport) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    eat(&u64::from(report.total_time).to_le_bytes());
-    eat(&u64::from(report.ideal_time).to_le_bytes());
-    eat(&u64::from(report.stall_time).to_le_bytes());
-    eat(&report.fault_count.to_le_bytes());
-    for &slowdown in &report.kernel_slowdowns {
-        eat(&slowdown.to_bits().to_le_bytes());
-    }
-    hash
+    report.fingerprint()
 }
 
 #[cfg(test)]
@@ -346,9 +508,75 @@ mod tests {
             gpu_mib: Some(64),
             deadline_ms: Some(2500),
             inject_fault: Some("3:step-panic".parse().unwrap()),
+            jobs: Vec::new(),
         };
         let parsed = RunRequest::from_json(&request.to_json()).unwrap();
         assert_eq!(parsed, request);
+    }
+
+    #[test]
+    fn multi_job_request_roundtrips_and_defaults_its_header() {
+        let request = RunRequest {
+            model: ModelKind::TinyCnn,
+            batch: 64,
+            policy: "tensile".to_string(),
+            gpu_mib: Some(64),
+            deadline_ms: None,
+            inject_fault: None,
+            jobs: vec![
+                JobRequest {
+                    model: ModelKind::TinyCnn,
+                    batch: 64,
+                    priority: 4,
+                    quota_mib: Some(40),
+                    arrival_us: 0,
+                },
+                JobRequest {
+                    model: ModelKind::TinyTransformer,
+                    batch: 32,
+                    priority: 1,
+                    quota_mib: None,
+                    arrival_us: 20,
+                },
+            ],
+        };
+        let parsed = RunRequest::from_json(&request.to_json()).unwrap();
+        assert_eq!(parsed, request);
+        // The cost is the sum over tenants, not the header cell.
+        assert_eq!(request.estimated_cost(), (64 + 32) << 20);
+
+        // A body with only the jobs array parses too: the first job stands
+        // in for the top-level model/batch.
+        let body = obj(vec![(
+            "jobs",
+            Json::Arr(vec![obj(vec![
+                ("model", Json::Str("tinycnn".to_string())),
+                ("batch", Json::Num(16.0)),
+            ])]),
+        )]);
+        let parsed = RunRequest::from_json(&body).unwrap();
+        assert_eq!(parsed.model, ModelKind::TinyCnn);
+        assert_eq!(parsed.batch, 16);
+        assert_eq!(parsed.jobs.len(), 1);
+        assert_eq!(parsed.jobs[0].priority, 1);
+
+        // Bad mixes are named errors, not panics.
+        for (label, body) in [
+            ("empty", obj(vec![("jobs", Json::Arr(vec![]))])),
+            ("scalar", obj(vec![("jobs", Json::Num(3.0))])),
+            (
+                "bad-priority",
+                obj(vec![(
+                    "jobs",
+                    Json::Arr(vec![obj(vec![
+                        ("model", Json::Str("tinycnn".to_string())),
+                        ("priority", Json::Num(0.0)),
+                    ])]),
+                )]),
+            ),
+        ] {
+            assert!(RunRequest::from_json(&body).is_err(), "accepted {label}");
+        }
     }
 
     #[test]

@@ -11,7 +11,11 @@
 
 use g10_core::config::SystemConfig;
 use g10_sim::fault::catch_policy_panic;
-use g10_sim::{CancelToken, Experiment, PolicySpec, RuntimeOptions, SimError, SimReport};
+use g10_sim::{
+    register_tensile, CancelToken, Experiment, JobSpec, MultiReport, PolicySpec, RuntimeOptions,
+    SimError, SimReport,
+};
+use g10_time::Nanos;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -41,6 +45,14 @@ pub struct ServeStats {
     pub memory_hits: AtomicU64,
     /// Ok responses served from the persistent store.
     pub disk_hits: AtomicU64,
+    /// Multi-job requests executed (ok or failed).
+    pub multi_requests: AtomicU64,
+    /// Tenants of multi-job requests that completed (per-job tally).
+    pub tenants_served: AtomicU64,
+    /// Tenants of multi-job requests that were shed or failed (per-job
+    /// tally: admission shedding and run errors both count every tenant
+    /// the request carried).
+    pub tenants_shed: AtomicU64,
 }
 
 impl ServeStats {
@@ -58,6 +70,9 @@ impl ServeStats {
             ("replayed", get(&self.replayed)),
             ("memory_hits", get(&self.memory_hits)),
             ("disk_hits", get(&self.disk_hits)),
+            ("multi_requests", get(&self.multi_requests)),
+            ("tenants_served", get(&self.tenants_served)),
+            ("tenants_shed", get(&self.tenants_shed)),
             ("draining", Json::Bool(draining)),
         ])
     }
@@ -132,6 +147,56 @@ pub fn run_request(
     }
 }
 
+/// Executes one multi-job request: each `jobs: [...]` tenant becomes a
+/// [`JobSpec`] and the mix replays concurrently on one simulated device
+/// through the tenancy subsystem.  Multi runs never touch the run caches —
+/// a job's report depends on the whole mix, not just its own cell key —
+/// and the cross-job-aware `tensile` design is registered first so clients
+/// can name it like any built-in.
+///
+/// # Errors
+///
+/// Any [`SimError`]: unknown policy, typed policy fault, expired deadline,
+/// cancellation.
+pub fn run_multi_request(
+    request: &RunRequest,
+    cancel: CancelToken,
+) -> Result<MultiReport, SimError> {
+    register_tensile();
+    let spec: PolicySpec = request.policy.parse()?;
+    let mut config = SystemConfig::table2();
+    if let Some(gpu_mib) = request.gpu_mib {
+        config = config.with_gpu_memory(gpu_mib << 20);
+    }
+    let jobs: Vec<JobSpec> = request
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let mut spec = JobSpec::new(
+                format!("job-{i}-{}", job.model.name()),
+                workload(job.model, job.batch),
+            )
+            .priority(job.priority)
+            .arrival(Nanos::from_micros(job.arrival_us));
+            if let Some(mib) = job.quota_mib {
+                spec = spec.quota_bytes(mib << 20);
+            }
+            spec
+        })
+        .collect();
+    let options = RuntimeOptions {
+        cancel: Some(cancel),
+        fault_plan: request.inject_fault,
+        ..RuntimeOptions::default()
+    };
+    Experiment::jobs(jobs)
+        .policy(spec)
+        .config(config)
+        .options(options)
+        .run_multi()
+}
+
 /// The worker loop: take jobs until the queue closes, answer every one.
 pub fn worker_loop(
     worker: usize,
@@ -151,24 +216,45 @@ pub fn worker_loop(
         // Containment boundary: a panic anywhere below — policy code, the
         // engine, response assembly — becomes this request's 500, and the
         // worker thread lives on for the next job.
-        let outcome = catch_policy_panic(|| run_request(&request, cancel));
+        let multi_tenants = request.jobs.len() as u64;
+        let outcome = if multi_tenants > 0 {
+            stats.multi_requests.fetch_add(1, Ordering::Relaxed);
+            catch_policy_panic(|| {
+                run_multi_request(&request, cancel)
+                    .map(|report| (protocol::ok_multi_body(&report), "multi"))
+            })
+        } else {
+            catch_policy_panic(|| {
+                run_request(&request, cancel)
+                    .map(|(report, source)| (protocol::ok_body(source, &report), source))
+            })
+        };
         let (status, retry_after, body) = match outcome {
-            Ok(Ok((report, source))) => {
+            Ok(Ok((body, source))) => {
                 stats.ok.fetch_add(1, Ordering::Relaxed);
                 match source {
                     "memory" => stats.memory_hits.fetch_add(1, Ordering::Relaxed),
                     "disk" => stats.disk_hits.fetch_add(1, Ordering::Relaxed),
+                    "multi" => stats
+                        .tenants_served
+                        .fetch_add(multi_tenants, Ordering::Relaxed),
                     _ => stats.replayed.fetch_add(1, Ordering::Relaxed),
                 };
-                (200, None, protocol::ok_body(source, &report))
+                (200, None, body)
             }
             Ok(Err(err)) => {
                 stats.failed.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .tenants_shed
+                    .fetch_add(multi_tenants, Ordering::Relaxed);
                 let (status, kind) = protocol::sim_error_status(&err);
                 (status, None, protocol::error_body(kind, &err.to_string()))
             }
             Err(panic_message) => {
                 stats.failed.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .tenants_shed
+                    .fetch_add(multi_tenants, Ordering::Relaxed);
                 (
                     500,
                     None,

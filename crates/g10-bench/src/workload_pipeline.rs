@@ -88,25 +88,26 @@ pub fn build_workload(case: &WorkloadCase) -> (DnnGraph, KernelTrace) {
 
 /// 64-bit FNV-1a over a stream of `u64` words — the pinning hash shared by
 /// this pipeline and the golden-plan / golden-report snapshot tests.
-pub struct Fingerprint(u64);
+///
+/// A thin alias over the workspace's one canonical implementation,
+/// [`g10_sim::ReportFingerprint`]; kept so existing pipeline and store
+/// call sites read unchanged.
+pub struct Fingerprint(g10_sim::ReportFingerprint);
 
 impl Fingerprint {
     /// Starts from the FNV-1a offset basis.
     pub fn new() -> Self {
-        Fingerprint(0xcbf29ce484222325)
+        Fingerprint(g10_sim::ReportFingerprint::new())
     }
 
     /// Folds one word into the fingerprint, byte by byte.
     pub fn push(&mut self, word: u64) {
-        for byte in word.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x100000001b3);
-        }
+        self.0.push(word);
     }
 
     /// The accumulated fingerprint.
     pub fn finish(self) -> u64 {
-        self.0
+        self.0.finish()
     }
 }
 

@@ -1,0 +1,136 @@
+//! CLI coverage for `experiments cache gc --max-mib`: the maintenance
+//! command a cron job would run, exercised as a real subprocess so the
+//! flag parsing, store wiring and exit codes are all pinned — not just
+//! the library-level [`g10_bench::store::RunStore::gc`] the unit tests
+//! cover.
+//!
+//! Retention order is the store's contract: newest-modification-time
+//! entries are kept under the cap, oldest are removed first.  The test
+//! plants an old oversized entry, replays a real cell on top of it, and
+//! asserts the gc pass drops exactly the old one.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("g10_cache_gc_cli_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create store dir");
+    dir
+}
+
+/// Runs the `experiments` binary with `args`, returning (exit-ok, stdout,
+/// stderr).
+fn experiments(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .env_remove("G10_CACHE_DIR")
+        .output()
+        .expect("spawn experiments binary");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn store_entries(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("read store dir")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            path.extension()
+                .is_some_and(|ext| ext == "g10run")
+                .then(|| path.file_name()?.to_str().map(str::to_string))?
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn cache_gc_cli_prunes_oldest_first_and_reports_the_tally() {
+    let store = fresh_dir("prune");
+    let dir = store.display().to_string();
+
+    // An old oversized "entry": 2 MiB of padding with an mtime strictly
+    // older than anything written after it.  The gc pass only reads size
+    // and mtime, so the content never has to parse.
+    let stale = store.join("stale_b1_fake_0000000000000000.g10run");
+    std::fs::write(&stale, vec![b'x'; 2 << 20]).expect("write stale entry");
+    // Entry mtimes must be distinguishable; coarse-mtime filesystems get a
+    // full second of margin.
+    std::thread::sleep(std::time::Duration::from_millis(1100));
+
+    // A real cell replayed through the CLI populates the store next to it.
+    let (ok, stdout, stderr) = experiments(&[
+        "run",
+        "--model",
+        "tinycnn",
+        "--batch",
+        "4",
+        "--gpu-mib",
+        "64",
+        "--cache-dir",
+        &dir,
+        "--out",
+        &store.join("results").display().to_string(),
+    ]);
+    assert!(ok, "seed run failed:\n{stdout}\n{stderr}");
+    let before = store_entries(&store);
+    assert_eq!(before.len(), 2, "store must hold both entries: {before:?}");
+
+    // `--max-mib 1`: the fresh few-KiB entry fits under the cap, the old
+    // 2 MiB one cannot — oldest-first removal must drop exactly it.
+    let (ok, stdout, stderr) = experiments(&["cache", "gc", "--max-mib", "1", "--cache-dir", &dir]);
+    assert!(ok, "gc must exit 0:\n{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("cache gc: removed 1 entries (2.0 MiB), kept 1 entries"),
+        "summary must report the tally: {stdout}"
+    );
+    let after = store_entries(&store);
+    assert_eq!(after.len(), 1, "exactly one entry survives: {after:?}");
+    assert!(!stale.exists(), "the old oversized entry must be removed");
+    assert!(
+        before.contains(&after[0]),
+        "the survivor must be the newer real entry"
+    );
+
+    // The surviving entry still serves: a fresh process reports disk hits.
+    let (ok, stdout, _) = experiments(&[
+        "run",
+        "--model",
+        "tinycnn",
+        "--batch",
+        "4",
+        "--gpu-mib",
+        "64",
+        "--cache-dir",
+        &dir,
+        "--out",
+        &store.join("results").display().to_string(),
+    ]);
+    assert!(ok, "post-gc run failed");
+    assert!(
+        stdout.contains("1 disk hits"),
+        "kept entry must serve the re-run from disk: {stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn cache_gc_cli_rejects_missing_flags() {
+    // No store configured: a named error and a non-zero exit.
+    let (ok, _, stderr) = experiments(&["cache", "gc", "--max-mib", "1", "--no-cache"]);
+    assert!(!ok, "gc without a store must fail");
+    assert!(stderr.contains("cache gc needs a store"), "{stderr}");
+
+    // A store but no cap: the flag error names the missing argument.
+    let store = fresh_dir("noflag");
+    let dir = store.display().to_string();
+    let (ok, _, stderr) = experiments(&["cache", "gc", "--cache-dir", &dir]);
+    assert!(!ok, "gc without --max-mib must fail");
+    assert!(stderr.contains("--max-mib"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&store);
+}

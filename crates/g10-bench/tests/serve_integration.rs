@@ -323,6 +323,95 @@ fn cold_restart_serves_prior_cells_byte_identically() {
     let _ = std::fs::remove_dir_all(&store);
 }
 
+/// Multi-job requests: a `jobs: [...]` body replays the mix through the
+/// tenancy subsystem, answers with per-tenant summaries and a
+/// deterministic mix fingerprint, and `/stats` tallies tenants served and
+/// shed per job, not per request.
+#[test]
+fn multi_job_requests_run_the_mix_and_count_tenants() {
+    let store = fresh_dir("multi");
+    let daemon = Daemon::spawn(&store, &[]);
+    let job = |model: &str, batch: u64, priority: u64, quota_mib: u64, arrival_us: u64| {
+        g10_bench::json::obj(vec![
+            ("model", Json::Str(model.to_string())),
+            ("batch", Json::Num(batch as f64)),
+            ("priority", Json::Num(priority as f64)),
+            ("quota_mib", Json::Num(quota_mib as f64)),
+            ("arrival_us", Json::Num(arrival_us as f64)),
+        ])
+    };
+    let body = g10_bench::json::obj(vec![
+        ("policy", Json::Str("tensile".to_string())),
+        ("gpu_mib", Json::Num(64.0)),
+        (
+            "jobs",
+            Json::Arr(vec![
+                job("tinycnn", 64, 4, 40, 0),
+                job("tinytransformer", 32, 1, 8, 20),
+            ]),
+        ),
+    ]);
+
+    let (status, response) = daemon.submit(&body);
+    assert_eq!(status, 200, "multi run must succeed: {response:?}");
+    assert_eq!(response.get("source").and_then(Json::as_str), Some("multi"));
+    assert_eq!(
+        response.path("report.tenants").and_then(Json::as_u64),
+        Some(2)
+    );
+    let jobs = response
+        .path("report.jobs")
+        .and_then(Json::as_arr)
+        .expect("per-tenant summaries present");
+    assert_eq!(jobs.len(), 2);
+    for job in jobs {
+        assert!(job.get("name").and_then(Json::as_str).is_some());
+        assert!(job.get("fingerprint").and_then(Json::as_str).is_some());
+    }
+    let fingerprint = response
+        .path("report.fingerprint")
+        .and_then(Json::as_str)
+        .expect("mix fingerprint present")
+        .to_string();
+
+    // The same mix again: bit-identical, and four tenants served in total.
+    let (status, again) = daemon.submit(&body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        again.path("report.fingerprint").and_then(Json::as_str),
+        Some(fingerprint.as_str()),
+        "multi replay must be deterministic across requests"
+    );
+
+    // A failing mix (unknown policy) sheds both its tenants.
+    let bad = g10_bench::json::obj(vec![
+        ("policy", Json::Str("no-such-design".to_string())),
+        (
+            "jobs",
+            Json::Arr(vec![
+                job("tinycnn", 8, 1, 16, 0),
+                job("tinycnn", 8, 1, 16, 5),
+            ]),
+        ),
+    ]);
+    let (status, response) = daemon.submit(&bad);
+    assert_eq!(status, 400, "unknown policy is the client's fault");
+    assert_eq!(
+        response.path("error.kind").and_then(Json::as_str),
+        Some("unknown-policy")
+    );
+
+    let (status, stats) =
+        exchange(&daemon.addr, "GET", "/stats", None, TIMEOUT).expect("stats exchange");
+    assert_eq!(status, 200);
+    assert_eq!(stats.get("multi_requests").and_then(Json::as_u64), Some(3));
+    assert_eq!(stats.get("tenants_served").and_then(Json::as_u64), Some(4));
+    assert_eq!(stats.get("tenants_shed").and_then(Json::as_u64), Some(2));
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
 /// A cancelled replay writes nothing to either cache layer: no store
 /// entry, no memoised cell — and the cell is not poisoned, a later
 /// uncancelled run replays and persists normally.

@@ -19,6 +19,7 @@ use crate::fault::{
 use crate::guard::{AuditView, InvariantGuard};
 use crate::metrics::SimReport;
 use crate::policy::MemoryPolicy;
+use crate::tenancy::{DeviceLedger, TenantId, TenantUsage};
 use crate::victim::VictimIndex;
 use g10_core::config::SystemConfig;
 use g10_dnn::graph::{DnnGraph, KernelId};
@@ -28,6 +29,7 @@ use g10_time::Nanos;
 use g10_uvm::{MemKind, UnifiedMemory, UnifiedMemoryConfig};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A fixed-universe bitset over tensor indices: O(1) insert/remove and
 /// dense in-order iteration, used as the GPU resident-set index.
@@ -130,6 +132,16 @@ pub struct RuntimeOptions {
     /// the serve daemon, `--deadline-ms` on the CLI, or an explicit
     /// [`CancelToken::cancel`]).  `None` (the default) costs nothing.
     pub cancel: Option<CancelToken>,
+    /// The tenant this engine runs as in a multi-tenant mix
+    /// ([`crate::tenancy`]).  [`TenantId::SOLO`] (the default) for
+    /// single-job runs; purely a tag — it never changes engine behaviour.
+    pub tenant: TenantId,
+    /// Shared cross-job accounting ledger for multi-tenant runs.  The
+    /// engine only ever *writes* tenant-tagged tallies into it (residency,
+    /// pending frees, migration traffic); policies may read it back via
+    /// [`EngineState::device_ledger`].  `None` (the default) costs nothing
+    /// and an attached ledger never changes engine behaviour.
+    pub device_ledger: Option<Arc<DeviceLedger>>,
 }
 
 impl RuntimeOptions {
@@ -152,6 +164,8 @@ impl Default for RuntimeOptions {
             on_policy_fault: OnPolicyFault::Fail,
             fault_plan: None,
             cancel: None,
+            tenant: TenantId::SOLO,
+            device_ledger: None,
         }
     }
 }
@@ -233,12 +247,38 @@ pub struct EngineState {
     /// mutability so the `&self` accessors can flag out-of-range tensor
     /// ids too.
     fault: RefCell<Option<(usize, PolicyFaultKind)>>,
+    /// The tenant this engine runs as ([`TenantId::SOLO`] outside
+    /// multi-tenant mixes).
+    tenant: TenantId,
+    /// Shared cross-job accounting ledger, if this engine is one lane of a
+    /// multi-tenant run.  Written by the engine, readable by policies.
+    ledger: Option<Arc<DeviceLedger>>,
 }
 
 impl EngineState {
     /// The current simulated time.
     pub fn now(&self) -> Nanos {
         self.now
+    }
+
+    /// The tenant this engine runs as ([`RuntimeOptions::tenant`]).
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The shared cross-job ledger, if one is attached
+    /// ([`RuntimeOptions::device_ledger`]).  Cross-job-aware policies read
+    /// per-tenant residency, quota and bandwidth tallies from it.
+    pub fn device_ledger(&self) -> Option<&Arc<DeviceLedger>> {
+        self.ledger.as_ref()
+    }
+
+    /// Posts one tenant-tagged accounting update to the attached ledger.
+    /// A no-op without a ledger, so solo runs pay nothing.
+    fn ledger_note(&self, update: impl FnOnce(&mut TenantUsage)) {
+        if let Some(ledger) = &self.ledger {
+            ledger.note(self.tenant, update);
+        }
     }
 
     /// Records a policy fault at the current kernel step.  The first fault
@@ -333,9 +373,17 @@ impl EngineState {
         if t.location == Location::Gpu && location != Location::Gpu {
             self.resident_gpu.remove(idx);
             self.victims.remove(idx as u32, t.last_touch, t.bytes);
+            self.ledger_note(|usage| {
+                usage.resident_bytes = usage.resident_bytes.saturating_sub(t.bytes);
+            });
         } else if t.location != Location::Gpu && location == Location::Gpu {
             self.resident_gpu.insert(idx);
-            self.victims.insert(idx as u32, t.last_touch, t.bytes);
+            self.victims
+                .insert_for(idx as u32, t.last_touch, t.bytes, self.tenant);
+            self.ledger_note(|usage| {
+                usage.resident_bytes = usage.resident_bytes.saturating_add(t.bytes);
+                usage.resident_high_water = usage.resident_high_water.max(usage.resident_bytes);
+            });
         }
         self.tensors[idx].location = location;
     }
@@ -425,6 +473,10 @@ impl EngineState {
         }
         self.tensors[idx].inbound_ready = Some(completion);
         self.prefetches_issued += 1;
+        self.ledger_note(|usage| {
+            usage.migrations_in += 1;
+            usage.bytes_in = usage.bytes_in.saturating_add(bytes);
+        });
         true
     }
 
@@ -461,6 +513,12 @@ impl EngineState {
         self.pending_gpu_free_bytes += bytes;
         self.set_location(idx, destination);
         self.evictions_issued += 1;
+        self.ledger_note(|usage| {
+            usage.evictions += 1;
+            usage.migrations_out += 1;
+            usage.bytes_out = usage.bytes_out.saturating_add(bytes);
+            usage.pending_free_bytes = usage.pending_free_bytes.saturating_add(bytes);
+        });
         true
     }
 
@@ -517,6 +575,10 @@ impl EngineState {
         }
         self.tensors[idx].inbound_ready = Some(completion);
         self.prefetches_issued += 1;
+        self.ledger_note(|usage| {
+            usage.migrations_in += 1;
+            usage.bytes_in = usage.bytes_in.saturating_add(bytes);
+        });
         true
     }
 
@@ -624,6 +686,9 @@ impl EngineState {
         if freed > 0 {
             self.pending_gpu_free_bytes -= freed;
             self.uvm.gpu_mut().free(freed);
+            self.ledger_note(|usage| {
+                usage.pending_free_bytes = usage.pending_free_bytes.saturating_sub(freed);
+            });
         }
     }
 
@@ -709,6 +774,27 @@ pub struct ReplayEngine<'a> {
     fault_plan: Option<FaultPlan>,
     /// Cooperative cancellation handle, if any.
     cancel: Option<CancelToken>,
+    /// Next kernel to execute; `try_run` is `advance` to the end.
+    cursor: usize,
+    /// Per-run invariant-audit state, owned by the engine so stepping is
+    /// resumable ([`ReplayEngine::advance`]) with the audit chain intact.
+    guard: InvariantGuard,
+    /// Invariant audits actually run (hardening telemetry: a hostile policy
+    /// must not be able to starve the guard).
+    audits_run: u64,
+}
+
+/// What one [`ReplayEngine::advance`] call executed: which kernel, how much
+/// device time it consumed (stall + compute, i.e. the wall-clock slice a
+/// shared device lends this engine), and the engine's clock afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// The kernel index that just executed.
+    pub kernel: usize,
+    /// Device time the step consumed (`now` delta, saturating).
+    pub busy: Nanos,
+    /// The engine's virtual clock after the step.
+    pub now: Nanos,
 }
 
 impl<'a> ReplayEngine<'a> {
@@ -794,11 +880,21 @@ impl<'a> ReplayEngine<'a> {
 
         let mut resident_gpu = ResidentSet::new(num_tensors);
         let mut victims = VictimIndex::new();
+        let mut initial_resident_bytes = 0u64;
         for (idx, t) in tensors.iter().enumerate() {
             if t.location == Location::Gpu {
                 resident_gpu.insert(idx);
-                victims.insert(idx as u32, t.last_touch, t.bytes);
+                victims.insert_for(idx as u32, t.last_touch, t.bytes, options.tenant);
+                initial_resident_bytes += t.bytes;
             }
+        }
+        // Post the initial placement to the shared ledger (the loop above
+        // bypasses `set_location`, which does this incrementally later).
+        if let Some(ledger) = &options.device_ledger {
+            ledger.note(options.tenant, |usage| {
+                usage.resident_bytes = usage.resident_bytes.saturating_add(initial_resident_bytes);
+                usage.resident_high_water = usage.resident_high_water.max(usage.resident_bytes);
+            });
         }
         let validate_active = options.validate.is_active() || options.fault_plan.is_some();
         ReplayEngine {
@@ -821,6 +917,8 @@ impl<'a> ReplayEngine<'a> {
                 oversubscribed: false,
                 current_kernel: 0,
                 fault: RefCell::new(None),
+                tenant: options.tenant,
+                ledger: options.device_ledger,
             },
             policy,
             required_flat,
@@ -831,6 +929,9 @@ impl<'a> ReplayEngine<'a> {
             validate_active,
             fault_plan: options.fault_plan,
             cancel: options.cancel,
+            cursor: 0,
+            guard: InvariantGuard::new(),
+            audits_run: 0,
         }
     }
 
@@ -856,46 +957,97 @@ impl<'a> ReplayEngine<'a> {
     /// and aborts the run with [`EngineError::Cancelled`] — before the
     /// step runs, so a cancelled run never tears a step in progress.
     pub fn try_run(mut self) -> Result<SimReport, EngineError> {
-        let n = self.graph.num_kernels();
-        let mut guard = InvariantGuard::new();
-        for k in 0..n {
-            if let Some(kind) = self.cancel.as_ref().and_then(|token| token.fired(k)) {
-                return Err(EngineError::Cancelled(CancelRecord {
-                    policy: self.policy.name(),
-                    step: k,
-                    kind,
-                }));
-            }
-            self.state.current_kernel = k;
-            let injected = self
-                .fault_plan
-                .and_then(|plan| (plan.step == k).then_some(plan.fault));
-            let stepped = catch_policy_panic(|| {
-                if let Some(fault) = injected {
-                    self.inject_before_step(fault, k);
-                }
-                self.step(k);
-            });
-            if let Err(message) = stepped {
-                return Err(self
-                    .fault_record(k, PolicyFaultKind::StepPanic { message })
-                    .into());
-            }
-            if let Some(fault) = injected {
-                self.inject_after_step(fault, k);
-            }
-            if self.validate_active {
-                let view = self.state.audit_view();
-                let last_slowdown = self.kernel_slowdowns.last().copied();
-                if let Some(kind) = guard.check_step(&view, last_slowdown, k) {
-                    self.state.flag_fault(kind);
-                }
-            }
-            if let Some((step, kind)) = self.state.fault.borrow_mut().take() {
-                return Err(self.fault_record(step, kind).into());
-            }
+        while !self.is_done() {
+            self.advance()?;
         }
         Ok(self.into_report())
+    }
+
+    /// Number of kernels in the replayed trace.
+    pub fn num_kernels(&self) -> usize {
+        self.graph.num_kernels()
+    }
+
+    /// The next kernel [`ReplayEngine::advance`] would execute.
+    pub fn next_kernel(&self) -> usize {
+        self.cursor
+    }
+
+    /// Whether every kernel has executed.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.graph.num_kernels()
+    }
+
+    /// Invariant audits run so far (see [`RuntimeOptions::validate`]).
+    pub fn audits_run(&self) -> u64 {
+        self.audits_run
+    }
+
+    /// Executes exactly one kernel step — the body of [`ReplayEngine::try_run`],
+    /// exposed so a [`crate::tenancy::TenantScheduler`] can interleave whole
+    /// kernels from several engines on one device timeline.  Containment is
+    /// identical to a full run: the cancel token is observed first, policy
+    /// hooks run under panic containment, injected faults fire at their
+    /// step, and the invariant audit (when active) closes the step.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`EngineError`], exactly as `try_run` would return it.  The
+    /// engine is poisoned afterwards (the failed step must not be retried);
+    /// callers replace it, as the session's fallback path does.
+    ///
+    /// # Panics
+    ///
+    /// If called after the last kernel ([`ReplayEngine::is_done`]).
+    pub fn advance(&mut self) -> Result<StepOutcome, EngineError> {
+        let k = self.cursor;
+        assert!(
+            k < self.graph.num_kernels(),
+            "advance() past the end of the trace"
+        );
+        let before = self.state.now;
+        if let Some(kind) = self.cancel.as_ref().and_then(|token| token.fired(k)) {
+            return Err(EngineError::Cancelled(CancelRecord {
+                policy: self.policy.name(),
+                step: k,
+                kind,
+            }));
+        }
+        self.state.current_kernel = k;
+        let injected = self
+            .fault_plan
+            .and_then(|plan| (plan.step == k).then_some(plan.fault));
+        let stepped = catch_policy_panic(|| {
+            if let Some(fault) = injected {
+                self.inject_before_step(fault, k);
+            }
+            self.step(k);
+        });
+        if let Err(message) = stepped {
+            return Err(self
+                .fault_record(k, PolicyFaultKind::StepPanic { message })
+                .into());
+        }
+        if let Some(fault) = injected {
+            self.inject_after_step(fault, k);
+        }
+        if self.validate_active {
+            let view = self.state.audit_view();
+            let last_slowdown = self.kernel_slowdowns.last().copied();
+            self.audits_run += 1;
+            if let Some(kind) = self.guard.check_step(&view, last_slowdown, k) {
+                self.state.flag_fault(kind);
+            }
+        }
+        if let Some((step, kind)) = self.state.fault.borrow_mut().take() {
+            return Err(self.fault_record(step, kind).into());
+        }
+        self.cursor += 1;
+        Ok(StepOutcome {
+            kernel: k,
+            busy: self.state.now.saturating_sub(before),
+            now: self.state.now,
+        })
     }
 
     fn fault_record(&self, step: usize, kind: PolicyFaultKind) -> FaultRecord {
@@ -992,7 +1144,9 @@ impl<'a> ReplayEngine<'a> {
         }
     }
 
-    fn into_report(self) -> SimReport {
+    /// Assembles the final report; meaningful once [`ReplayEngine::is_done`]
+    /// (the tenancy scheduler consumes finished lanes through this).
+    pub(crate) fn into_report(self) -> SimReport {
         let state = self.state;
         SimReport {
             model: self.graph.name().to_string(),
@@ -1123,6 +1277,10 @@ impl<'a> ReplayEngine<'a> {
             self.state.uvm.host_mut().free(bytes);
         }
         self.state.tensors[idx].inbound_ready = Some(arrival);
+        self.state.ledger_note(|usage| {
+            usage.migrations_in += 1;
+            usage.bytes_in = usage.bytes_in.saturating_add(bytes);
+        });
         arrival
     }
 

@@ -31,6 +31,11 @@
 //!   [`session::Experiment`] builder over the open
 //!   [`session::PolicyProvider`] registry, through which the built-in
 //!   designs and any registered custom design run alike.
+//! * [`tenancy`] — multi-tenant replay: several jobs (arrival time,
+//!   priority, byte quota) sharing one simulated GPU, with per-job engines
+//!   stride-scheduled onto one device timeline, a shared cross-job
+//!   accounting ledger, and a TENSILE-style cross-job-aware policy.  Runs
+//!   through [`session::Experiment::jobs`] / `run_multi()`.
 //! * [`runner`] — the workload builder ([`runner::Workload`]), the
 //!   [`runner::PolicyKind`] enumeration of the paper's designs, the
 //!   [`runner::parallel_map`] sweep helper, and legacy run wrappers.
@@ -66,15 +71,22 @@ pub mod policies;
 pub mod policy;
 pub mod runner;
 pub mod session;
+pub mod tenancy;
 pub mod victim;
 
 pub use cancel::{CancelKind, CancelRecord, CancelToken};
-pub use engine::{EngineError, Location, ReplayEngine, RuntimeOptions, VictimSelection};
+pub use engine::{
+    EngineError, Location, ReplayEngine, RuntimeOptions, StepOutcome, VictimSelection,
+};
 pub use fault::{FaultPlan, FaultRecord, InjectedFault, OnPolicyFault, PolicyFaultKind, Validate};
-pub use metrics::SimReport;
+pub use metrics::{ReportFingerprint, SimReport};
 pub use policy::MemoryPolicy;
 pub use runner::{parallel_map, run_experiment, try_parallel_map, PolicyKind, Workload};
 pub use session::{
-    register_policy, registered_policy_names, Experiment, PolicyContext, PolicyProvider,
-    PolicyRegistry, PolicySpec, SimError,
+    register_policy, registered_policy_names, Experiment, MultiExperiment, PolicyContext,
+    PolicyProvider, PolicyRegistry, PolicySpec, SimError,
+};
+pub use tenancy::{
+    register_tensile, DeviceLedger, JobReport, JobSpec, MultiReport, TenantId, TenantScheduler,
+    TenantUsage, TensilePolicy, TensileProvider,
 };

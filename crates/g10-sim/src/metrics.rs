@@ -11,6 +11,40 @@ use g10_time::Nanos;
 use g10_uvm::TrafficStats;
 use serde::{Deserialize, Serialize};
 
+/// Incremental FNV-1a digest over `u64` words: the one shared fingerprint
+/// helper behind [`SimReport::fingerprint`],
+/// [`MultiReport::fingerprint`](crate::tenancy::MultiReport::fingerprint)
+/// and the serve wire format (previously re-implemented per call site).
+///
+/// Words are folded in little-endian byte order, so the digest is stable
+/// across platforms.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportFingerprint(u64);
+
+impl ReportFingerprint {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A digest primed with the FNV-1a offset basis.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> ReportFingerprint {
+        ReportFingerprint(Self::FNV_OFFSET)
+    }
+
+    /// Folds one word into the digest.
+    pub fn push(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// The outcome of replaying one training iteration under one memory policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -54,6 +88,39 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Deterministic FNV-1a digest over every numeric field of the report,
+    /// in declaration order.
+    ///
+    /// This is the workspace's one canonical report fingerprint: the golden
+    /// snapshots (`tests/golden_reports.rs`), the session/tenancy
+    /// byte-identity pins and the serve wire format all compare this value,
+    /// so two runs are byte-identical exactly when their fingerprints
+    /// agree.  The `model` / `policy` display strings and the
+    /// `policy_fault` annotation are deliberately excluded: the digest
+    /// captures *simulation behaviour*, which must be comparable across a
+    /// rename or a fallback re-run.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = ReportFingerprint::new();
+        fp.push(self.batch);
+        fp.push(self.total_time.as_nanos());
+        fp.push(self.ideal_time.as_nanos());
+        fp.push(self.stall_time.as_nanos());
+        for slowdown in &self.kernel_slowdowns {
+            fp.push(slowdown.to_bits());
+        }
+        fp.push(self.traffic.gpu_to_ssd_bytes);
+        fp.push(self.traffic.ssd_to_gpu_bytes);
+        fp.push(self.traffic.gpu_to_host_bytes);
+        fp.push(self.traffic.host_to_gpu_bytes);
+        fp.push(self.fault_count);
+        fp.push(self.prefetches_issued);
+        fp.push(self.prefetches_dropped);
+        fp.push(self.evictions_issued);
+        fp.push(self.oversubscribed as u64);
+        fp.push(self.working_set_exceeds_gpu as u64);
+        fp.finish()
+    }
+
     /// Performance normalised to the ideal system (1.0 = ideal), the y-axis
     /// of Figure 11.
     pub fn normalized_performance(&self) -> f64 {
@@ -194,6 +261,21 @@ mod tests {
         let s = r.summary();
         assert!(s.contains("G10"));
         assert!(s.contains("Test"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_behaviour_not_labels() {
+        let r = report();
+        let mut renamed = r.clone();
+        renamed.model = "Other".to_string();
+        renamed.policy = "Else".to_string();
+        assert_eq!(r.fingerprint(), renamed.fingerprint());
+        let mut different = r.clone();
+        different.fault_count += 1;
+        assert_ne!(r.fingerprint(), different.fingerprint());
+        let mut slower = r.clone();
+        slower.kernel_slowdowns[0] = 1.5;
+        assert_ne!(r.fingerprint(), slower.fingerprint());
     }
 
     #[test]

@@ -101,9 +101,14 @@ use crate::metrics::SimReport;
 use crate::policies::{BaseUvmPolicy, DeepUmPolicy, FlashNeuronPolicy, G10Policy, IdealPolicy};
 use crate::policy::MemoryPolicy;
 use crate::runner::{parallel_map, PolicyKind, Workload, CLASSIC_UVM_BATCH_OVERHEAD};
+use crate::tenancy::{
+    DeviceLedger, JobReport, JobSpec, MultiReport, TenantFault, TenantId, TenantScheduler,
+};
 use g10_core::config::SystemConfig;
 use g10_core::scheduler::{G10Scheduler, SchedulerVariant};
 use g10_dnn::trace::KernelTrace;
+use g10_time::Nanos;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -157,6 +162,8 @@ pub enum SimError {
         /// The kernel step at which the cancellation was observed.
         step: usize,
     },
+    /// [`MultiExperiment::run_multi`] was called with an empty job list.
+    EmptyJobs,
 }
 
 impl SimError {
@@ -238,6 +245,9 @@ impl fmt::Display for SimError {
             }
             SimError::Cancelled { policy, step } => {
                 write!(f, "run cancelled in `{policy}` at step {step}")
+            }
+            SimError::EmptyJobs => {
+                write!(f, "multi-tenant run requires at least one job")
             }
         }
     }
@@ -676,6 +686,17 @@ pub fn register_policy(name: &str, provider: Arc<dyn PolicyProvider>) {
     write_global().register(name, provider);
 }
 
+/// Like [`register_policy`], but also binds alias names to the same
+/// provider (e.g. [`crate::tenancy::register_tensile`] registers `tensile`
+/// with the alias `tensile-quota`).
+pub fn register_policy_with_aliases(
+    name: &str,
+    aliases: &[&str],
+    provider: impl PolicyProvider + 'static,
+) {
+    write_global().register_with_aliases(name, aliases, Arc::new(provider));
+}
+
 /// Every policy name registered in the process-global registry (built-ins
 /// plus custom registrations).
 pub fn registered_policy_names() -> Vec<String> {
@@ -786,6 +807,20 @@ impl<'a> Experiment<'a> {
             policy: PolicySpec::Builtin(PolicyKind::G10Full),
             config: SystemConfig::table2(),
             planning_trace: None,
+            options: RuntimeOptions::default(),
+            registry: None,
+        }
+    }
+
+    /// Starts a multi-tenant session over `jobs` — several workloads
+    /// sharing one simulated GPU, each with its own arrival time, priority
+    /// and byte quota.  See [`crate::tenancy`] for the job model and
+    /// [`MultiExperiment::run_multi`] for the result shape.
+    pub fn jobs(jobs: impl IntoIterator<Item = JobSpec>) -> MultiExperiment<'a> {
+        MultiExperiment {
+            jobs: jobs.into_iter().collect(),
+            policy: PolicySpec::Builtin(PolicyKind::G10Full),
+            config: SystemConfig::table2(),
             options: RuntimeOptions::default(),
             registry: None,
         }
@@ -1041,6 +1076,327 @@ impl<'a> Experiment<'a> {
             }
             Ok(Ok(report)) => Ok(report),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The multi-tenant session builder
+// ---------------------------------------------------------------------------
+
+/// A fluent description of one multi-tenant run: several [`JobSpec`]s
+/// replayed concurrently under one policy on one shared device.  Built by
+/// [`Experiment::jobs`]; see [`crate::tenancy`] for the scheduling model
+/// and two runnable examples.
+///
+/// Every job first runs *solo* (alone on the full device, same policy and
+/// options) to establish the slowdown baseline, then the mix replays with
+/// per-job engines stride-scheduled onto one device timeline and a shared
+/// [`DeviceLedger`] giving policies the cross-job view.
+#[derive(Debug, Clone)]
+pub struct MultiExperiment<'a> {
+    jobs: Vec<JobSpec>,
+    policy: PolicySpec,
+    config: SystemConfig,
+    options: RuntimeOptions,
+    registry: Option<&'a PolicyRegistry>,
+}
+
+impl<'a> MultiExperiment<'a> {
+    /// Selects the design every job runs under (default: the full G10).
+    #[must_use]
+    pub fn policy(mut self, spec: impl Into<PolicySpec>) -> Self {
+        self.policy = spec.into();
+        self
+    }
+
+    /// Selects the shared hardware configuration (default:
+    /// [`SystemConfig::table2`]).
+    #[must_use]
+    pub fn config(mut self, config: SystemConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Starts from caller-chosen engine options.  The provider's
+    /// [`PolicyProvider::adjust_options`] is applied on top, and the
+    /// tenancy layer then tags each job's options with its tenant id,
+    /// the shared ledger, and its quota-capped GPU capacity.
+    #[must_use]
+    pub fn options(mut self, options: RuntimeOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Resolves [`PolicySpec::Named`] against this registry instead of the
+    /// process-global one.
+    #[must_use]
+    pub fn registry(mut self, registry: &'a PolicyRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    fn resolve(&self, spec: &PolicySpec) -> Result<ProviderHandle, SimError> {
+        match spec {
+            PolicySpec::Builtin(kind) => Ok(ProviderHandle::Builtin(kind.provider())),
+            PolicySpec::Named(name) => {
+                let normalized = normalize(name);
+                let found = match self.registry {
+                    Some(registry) => registry.resolve(&normalized),
+                    None => read_global().resolve(&normalized),
+                };
+                found.ok_or_else(|| match self.registry {
+                    Some(registry) => SimError::UnknownPolicy {
+                        name: name.clone(),
+                        known: registry.names(),
+                    },
+                    None => SimError::unknown_policy(name),
+                })
+            }
+        }
+    }
+
+    /// Builds one job's engine under panic containment, mirroring
+    /// [`Experiment`]'s `execute_once` up to the point the engine exists:
+    /// cancel pre-check, injected build panics, provider `build()`, engine
+    /// construction.  On top of the provider-adjusted options the tenancy
+    /// layer sets the tenant tag, the shared ledger, and — when the job has
+    /// a quota — caps the engine's GPU capacity at
+    /// `min(capacity, quota_bytes)`.  A job without a quota sees exactly
+    /// the options a solo run would, which is what makes the single-job
+    /// path byte-identical to the legacy engine.
+    fn build_tenant_engine<'j>(
+        &'j self,
+        job: &'j JobSpec,
+        tenant: TenantId,
+        spec: &PolicySpec,
+        provider: &dyn PolicyProvider,
+        ledger: &Arc<DeviceLedger>,
+        is_fallback: bool,
+    ) -> Result<ReplayEngine<'j>, EngineError> {
+        let mut options = self.options.clone();
+        if is_fallback {
+            options.fault_plan = None;
+            options.on_policy_fault = OnPolicyFault::Fail;
+        }
+        if let Some(kind) = options.cancel.as_ref().and_then(|token| token.fired(0)) {
+            return Err(EngineError::Cancelled(CancelRecord {
+                policy: spec.to_string(),
+                step: 0,
+                kind,
+            }));
+        }
+        provider.adjust_options(&mut options);
+        options.tenant = tenant;
+        options.device_ledger = Some(Arc::clone(ledger));
+        if let Some(quota) = job.quota_bytes {
+            let capacity = options
+                .gpu_capacity_override
+                .unwrap_or(self.config.gpu_memory_bytes);
+            options.gpu_capacity_override = Some(capacity.min(quota));
+        }
+        let injected_build_panic = options
+            .fault_plan
+            .is_some_and(|plan| plan.fault == InjectedFault::BuildPanic);
+        let workload: &Workload = &job.workload;
+        let ctx = PolicyContext {
+            workload,
+            config: &self.config,
+            planning_trace: &workload.trace,
+        };
+        let policy = catch_policy_panic(|| {
+            if injected_build_panic {
+                panic!("injected provider build panic");
+            }
+            provider.build(&ctx)
+        })
+        .map_err(|message| {
+            EngineError::Fault(FaultRecord {
+                policy: spec.to_string(),
+                step: 0,
+                kind: PolicyFaultKind::BuildPanic { message },
+            })
+        })?;
+        catch_policy_panic(|| {
+            ReplayEngine::new(
+                &workload.graph,
+                &workload.trace,
+                &self.config,
+                policy,
+                options,
+            )
+        })
+        .map_err(|message| {
+            EngineError::Fault(FaultRecord {
+                policy: spec.to_string(),
+                step: 0,
+                kind: PolicyFaultKind::BuildPanic { message },
+            })
+        })
+    }
+
+    /// The configured fallback spec, or the (label-rewritten) fault as the
+    /// final error.  A tenant that already fell back once
+    /// (`already_faulted`) fails the whole run on its second fault — no
+    /// second level of degradation, matching [`Experiment::run`].
+    fn fallback_spec_for(
+        &self,
+        mut fault: FaultRecord,
+        already_faulted: bool,
+    ) -> Result<(PolicySpec, FaultRecord), SimError> {
+        fault.policy = self.policy.to_string();
+        let spec = match &self.options.on_policy_fault {
+            OnPolicyFault::Fail => return Err(fault.into()),
+            OnPolicyFault::FallbackTo(spec) => spec.clone(),
+        };
+        if already_faulted {
+            return Err(fault.into());
+        }
+        Ok((spec, fault))
+    }
+
+    /// Runs the mix: solo baselines first, then the shared-device replay.
+    ///
+    /// Per-job engines run under the same containment as
+    /// [`Experiment::run`]: a faulting policy fails the run
+    /// ([`OnPolicyFault::Fail`]) or restarts that one job on the fallback
+    /// design ([`OnPolicyFault::FallbackTo`]) with its fault recorded in
+    /// the job's [`SimReport::policy_fault`] — the other tenants keep
+    /// their progress.  Cancellation fails the whole run without fallback.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EmptyJobs`] for an empty mix; otherwise exactly the
+    /// errors [`Experiment::run`] can produce.
+    pub fn run_multi(&self) -> Result<MultiReport, SimError> {
+        if self.jobs.is_empty() {
+            return Err(SimError::EmptyJobs);
+        }
+        let provider = self.resolve(&self.policy)?;
+        // Solo baselines: each job alone on the full device under the same
+        // policy, config and options — the denominator of every slowdown.
+        let mut solo_reports = Vec::with_capacity(self.jobs.len());
+        for job in &self.jobs {
+            let mut experiment = Experiment::new(&job.workload)
+                .policy(self.policy.clone())
+                .config(self.config)
+                .options(self.options.clone());
+            if let Some(registry) = self.registry {
+                experiment = experiment.registry(registry);
+            }
+            solo_reports.push(experiment.run()?);
+        }
+        let ledger = Arc::new(DeviceLedger::new(self.config.gpu_memory_bytes));
+        for (i, job) in self.jobs.iter().enumerate() {
+            ledger.register(TenantId(i as u16), job.priority, job.quota_bytes);
+        }
+        let mut faults: BTreeMap<TenantId, FaultRecord> = BTreeMap::new();
+        let mut scheduler = TenantScheduler::new(Arc::clone(&ledger));
+        for (i, job) in self.jobs.iter().enumerate() {
+            let tenant = TenantId(i as u16);
+            match self.build_tenant_engine(
+                job,
+                tenant,
+                &self.policy,
+                provider.as_dyn(),
+                &ledger,
+                false,
+            ) {
+                Ok(engine) => scheduler.admit(tenant, job, engine),
+                Err(EngineError::Cancelled(mut record)) => {
+                    record.policy = self.policy.to_string();
+                    return Err(record.into());
+                }
+                Err(EngineError::Fault(fault)) => {
+                    let (fallback_spec, fault) = self.fallback_spec_for(fault, false)?;
+                    let fallback = self.resolve(&fallback_spec)?;
+                    let engine = self
+                        .build_tenant_engine(
+                            job,
+                            tenant,
+                            &fallback_spec,
+                            fallback.as_dyn(),
+                            &ledger,
+                            true,
+                        )
+                        .map_err(SimError::from)?;
+                    scheduler.admit(tenant, job, engine);
+                    faults.insert(tenant, fault);
+                }
+            }
+        }
+        loop {
+            match scheduler.run() {
+                Ok(()) => break,
+                Err(TenantFault {
+                    tenant: _,
+                    error: EngineError::Cancelled(mut record),
+                }) => {
+                    // Cancellation bypasses fallback: the budget is spent.
+                    record.policy = self.policy.to_string();
+                    return Err(record.into());
+                }
+                Err(TenantFault {
+                    tenant,
+                    error: EngineError::Fault(fault),
+                }) => {
+                    let (fallback_spec, fault) =
+                        self.fallback_spec_for(fault, faults.contains_key(&tenant))?;
+                    let fallback = self.resolve(&fallback_spec)?;
+                    // Zero the quarantined tenant's residency *before* the
+                    // replacement engine posts its initial placement, or
+                    // the ledger double-counts it.
+                    ledger.reset_residency(tenant);
+                    let job = &self.jobs[usize::from(tenant.0)];
+                    let engine = self
+                        .build_tenant_engine(
+                            job,
+                            tenant,
+                            &fallback_spec,
+                            fallback.as_dyn(),
+                            &ledger,
+                            true,
+                        )
+                        .map_err(SimError::from)?;
+                    scheduler.replace_engine(tenant, engine);
+                    faults.insert(tenant, fault);
+                }
+            }
+        }
+        let outcomes = scheduler.finish();
+        let mut makespan = Nanos::ZERO;
+        let mut jobs = Vec::with_capacity(outcomes.len());
+        for (outcome, solo) in outcomes.into_iter().zip(&solo_reports) {
+            makespan = makespan.max(outcome.finished);
+            let multi_time = outcome.finished.saturating_sub(outcome.arrival);
+            let slowdown = if solo.total_time.is_zero() {
+                1.0
+            } else {
+                multi_time.as_secs_f64() / solo.total_time.as_secs_f64()
+            };
+            let mut report = outcome.report;
+            report.policy_fault = faults.remove(&outcome.tenant);
+            jobs.push(JobReport {
+                name: outcome.name,
+                tenant: outcome.tenant,
+                priority: outcome.priority,
+                quota_bytes: outcome.quota_bytes,
+                arrival: outcome.arrival,
+                started: outcome.started,
+                finished: outcome.finished,
+                solo_time: solo.total_time,
+                slowdown,
+                audited_steps: outcome.audited_steps,
+                restarts: outcome.restarts,
+                usage: ledger.usage(outcome.tenant),
+                report,
+            });
+        }
+        Ok(MultiReport {
+            policy: self.policy.to_string(),
+            device_capacity_bytes: self.config.gpu_memory_bytes,
+            makespan,
+            jobs,
+        })
     }
 }
 

@@ -7,7 +7,11 @@
 //! fuzz harness (`tests/policy_fuzz.rs`) asserts that whatever this policy
 //! does, the engine never panics, never corrupts its bookkeeping, and
 //! reports misbehaviour only as typed
-//! [`PolicyFault`](crate::session::SimError::PolicyFault)s.
+//! [`PolicyFault`](crate::session::SimError::PolicyFault)s.  The same
+//! specs also drive the multi-tenant path ([`crate::tenancy`]): hostile
+//! policies steering concurrent quota'd jobs must never panic the
+//! scheduler, breach a tenant's quota without a forced oversubscription,
+//! or starve the invariant guard.
 //!
 //! Everything here is deterministic in [`AdversarialSpec`]: the same spec
 //! replays the same hostile action sequence, so fuzz failures reproduce

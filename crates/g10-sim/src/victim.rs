@@ -26,8 +26,17 @@
 //! The pre-index linear scans live on in [`crate::naive`] as the
 //! property-tested reference (`crates/g10-sim/tests/victim_props.rs` pins
 //! the two against each other on randomized touch/evict sequences).
+//!
+//! For multi-tenant runs (see [`crate::tenancy`]) every entry additionally
+//! carries a tenant tag in a side table: the ordered-set keys are
+//! unchanged, so solo behaviour is byte-identical, but cross-job-aware
+//! policies can ask for the coldest tensor *of a preferred tenant*
+//! ([`VictimIndex::lru_preferring`]) — e.g. prefer low-priority tenants'
+//! cold tensors before touching anyone else's.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::tenancy::TenantId;
 
 /// Ordered index over evictable GPU-resident tensors.
 #[derive(Debug, Clone, Default)]
@@ -36,6 +45,10 @@ pub struct VictimIndex {
     by_recency: BTreeSet<(usize, u32)>,
     /// Evictable residents keyed by `(bytes, tensor_id)`.
     by_size: BTreeSet<(u64, u32)>,
+    /// Tenant tags; tensors absent from this table belong to
+    /// [`TenantId::SOLO`].  Kept out of the set keys so tagging cannot
+    /// perturb single-tenant eviction order.
+    tenants: BTreeMap<u32, TenantId>,
 }
 
 impl VictimIndex {
@@ -44,10 +57,25 @@ impl VictimIndex {
         VictimIndex::default()
     }
 
-    /// Adds a tensor that just became an evictable resident.
+    /// Adds a tensor that just became an evictable resident, owned by
+    /// [`TenantId::SOLO`].
     pub fn insert(&mut self, idx: u32, last_touch: usize, bytes: u64) {
+        self.insert_for(idx, last_touch, bytes, TenantId::SOLO);
+    }
+
+    /// Adds a tensor that just became an evictable resident, tagged with
+    /// its owning tenant.
+    pub fn insert_for(&mut self, idx: u32, last_touch: usize, bytes: u64, tenant: TenantId) {
         self.by_recency.insert((last_touch, idx));
         self.by_size.insert((bytes, idx));
+        if tenant != TenantId::SOLO {
+            self.tenants.insert(idx, tenant);
+        }
+    }
+
+    /// The tenant a currently indexed tensor was inserted for.
+    pub fn tenant_of(&self, idx: u32) -> TenantId {
+        self.tenants.get(&idx).copied().unwrap_or(TenantId::SOLO)
     }
 
     /// Removes a tensor that is no longer an evictable resident.  The caller
@@ -56,6 +84,7 @@ impl VictimIndex {
     pub fn remove(&mut self, idx: u32, last_touch: usize, bytes: u64) {
         self.by_recency.remove(&(last_touch, idx));
         self.by_size.remove(&(bytes, idx));
+        self.tenants.remove(&idx);
     }
 
     /// Re-keys a tensor after its `last_touch` changed.  A no-op for tensors
@@ -74,6 +103,37 @@ impl VictimIndex {
             .iter()
             .map(|&(_, idx)| idx)
             .find(|&idx| !is_protected(idx))
+    }
+
+    /// The least-recently-used unprotected resident *owned by `tenant`*,
+    /// or `None` if that tenant has no evictable residents.
+    pub fn lru_of_tenant(
+        &self,
+        tenant: TenantId,
+        is_protected: impl Fn(u32) -> bool,
+    ) -> Option<u32> {
+        self.by_recency
+            .iter()
+            .map(|&(_, idx)| idx)
+            .find(|&idx| self.tenant_of(idx) == tenant && !is_protected(idx))
+    }
+
+    /// The least-recently-used unprotected resident, preferring tenants in
+    /// the given order: the first preferred tenant with an evictable
+    /// resident wins; if none of them has one, falls back to the global
+    /// LRU.  With an empty preference list this is exactly
+    /// [`VictimIndex::lru`].
+    pub fn lru_preferring(
+        &self,
+        preference: &[TenantId],
+        is_protected: impl Fn(u32) -> bool,
+    ) -> Option<u32> {
+        for &tenant in preference {
+            if let Some(idx) = self.lru_of_tenant(tenant, &is_protected) {
+                return Some(idx);
+            }
+        }
+        self.lru(is_protected)
     }
 
     /// The largest unprotected resident: maximal `(bytes, tensor_id)`,
@@ -135,6 +195,33 @@ mod tests {
         index.touch(7, 0, 5);
         assert_eq!(index.len(), 2);
         assert_eq!(index.lru(|idx| idx == 2), Some(1));
+    }
+
+    #[test]
+    fn tenant_tags_ride_along_without_changing_order() {
+        let mut index = VictimIndex::new();
+        index.insert_for(1, 0, 10, TenantId(1));
+        index.insert_for(2, 1, 20, TenantId(2));
+        index.insert(3, 2, 30); // solo
+                                // Global order is untouched by tagging.
+        assert_eq!(index.lru(|_| false), Some(1));
+        assert_eq!(index.tenant_of(1), TenantId(1));
+        assert_eq!(index.tenant_of(3), TenantId::SOLO);
+        // Per-tenant and preference-ordered queries.
+        assert_eq!(index.lru_of_tenant(TenantId(2), |_| false), Some(2));
+        assert_eq!(index.lru_of_tenant(TenantId(9), |_| false), None);
+        assert_eq!(
+            index.lru_preferring(&[TenantId(9), TenantId(2)], |_| false),
+            Some(2)
+        );
+        // Empty preference and all-miss preference fall back to global LRU.
+        assert_eq!(index.lru_preferring(&[], |_| false), Some(1));
+        assert_eq!(index.lru_preferring(&[TenantId(9)], |_| false), Some(1));
+        // Protection applies inside tenant queries too.
+        assert_eq!(index.lru_of_tenant(TenantId(1), |idx| idx == 1), None);
+        // Removal clears the tag.
+        index.remove(1, 0, 10);
+        assert_eq!(index.tenant_of(1), TenantId::SOLO);
     }
 
     #[test]

@@ -21,9 +21,10 @@ use g10_core::config::SystemConfig;
 use g10_dnn::models::ModelKind;
 use g10_sim::session::adversarial::{AdversarialProvider, AdversarialSpec};
 use g10_sim::{
-    Experiment, OnPolicyFault, PolicyFaultKind, PolicyRegistry, PolicySpec, RuntimeOptions,
-    SimError, Validate, Workload,
+    Experiment, JobSpec, OnPolicyFault, PolicyFaultKind, PolicyRegistry, PolicySpec,
+    RuntimeOptions, SimError, Validate, Workload,
 };
+use g10_time::Nanos;
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
 
@@ -126,6 +127,156 @@ fn check_case(spec: AdversarialSpec, gpu_mib: u64) -> Result<(), PolicyFaultKind
     outcome
 }
 
+/// The two-job mix of the multi-tenant fuzz cases, shared like
+/// [`workload`].
+fn multi_workloads() -> &'static [Arc<Workload>; 2] {
+    static WORKLOADS: OnceLock<[Arc<Workload>; 2]> = OnceLock::new();
+    WORKLOADS.get_or_init(|| {
+        [
+            Arc::new(Workload::new(ModelKind::TinyCnn, 4)),
+            Arc::new(Workload::new(ModelKind::TinyTransformer, 8)),
+        ]
+    })
+}
+
+/// Runs one hostile spec through the multi-tenant path: two concurrent
+/// jobs under the adversary on one shared device, with quotas and the
+/// invariant audit forced on.  The properties mirror [`check_case`] plus
+/// the tenancy contract: no panic escapes, faults stay typed, the audit
+/// is never starved, and a clean (never-oversubscribed, never-restarted)
+/// job never drives its residency high-water past its quota.
+fn check_multi_case(spec: AdversarialSpec, gpu_mib: u64) -> Result<(), PolicyFaultKind> {
+    let [first, second] = multi_workloads();
+    let config = SystemConfig::table2().with_gpu_memory(gpu_mib << 20);
+    let mut registry = PolicyRegistry::with_builtins();
+    registry.register("adversary", Arc::new(AdversarialProvider { spec }));
+    let jobs = || {
+        [
+            JobSpec::new("adv-a", Arc::clone(first))
+                .priority(3)
+                .quota_bytes((gpu_mib << 20) / 2),
+            JobSpec::new("adv-b", Arc::clone(second))
+                .priority(1)
+                .arrival(Nanos::from_micros(5))
+                .quota_bytes((gpu_mib << 20) / 4),
+        ]
+    };
+
+    // Fail-fast: Ok or a typed action-level policy fault.
+    let strict = Experiment::jobs(jobs())
+        .policy(PolicySpec::named("adversary"))
+        .config(config)
+        .options(RuntimeOptions {
+            validate: Validate::Always,
+            on_policy_fault: OnPolicyFault::Fail,
+            ..RuntimeOptions::default()
+        })
+        .registry(&registry)
+        .run_multi();
+    let outcome = match strict {
+        Ok(report) => {
+            assert_eq!(report.jobs.len(), 2);
+            for job in &report.jobs {
+                assert!(
+                    job.slowdown.is_finite(),
+                    "{}: non-finite slowdown under {spec:?}",
+                    job.name
+                );
+                assert!(
+                    job.audited_steps > 0,
+                    "{}: adversary starved the invariant guard: {spec:?}",
+                    job.name
+                );
+                // Quota containment: only a forced (oversubscribed)
+                // allocation may breach, and a restart re-posts placement.
+                if job.restarts == 0 && !job.report.oversubscribed {
+                    if let Some(quota) = job.quota_bytes {
+                        assert!(
+                            job.usage.resident_high_water <= quota,
+                            "{}: high water {} breached quota {quota} under {spec:?}",
+                            job.name,
+                            job.usage.resident_high_water
+                        );
+                    }
+                }
+            }
+            let last = report.jobs.iter().map(|j| j.finished).max().unwrap();
+            assert_eq!(report.makespan, last, "makespan drifted: {spec:?}");
+            Ok(())
+        }
+        Err(SimError::PolicyFault { policy, kind, .. }) => {
+            assert_eq!(policy, "adversary", "fault must name the hostile spec");
+            assert!(
+                matches!(
+                    kind,
+                    PolicyFaultKind::BuildPanic { .. }
+                        | PolicyFaultKind::StepPanic { .. }
+                        | PolicyFaultKind::TensorOutOfRange { .. }
+                        | PolicyFaultKind::PrefetchResident { .. }
+                        | PolicyFaultKind::EvictNonResident { .. }
+                ),
+                "engine bookkeeping fault under concurrent adversaries \
+                 (engine bug, not policy abuse): {kind:?} from {spec:?}"
+            );
+            Err(kind)
+        }
+        Err(other) => panic!("multi adversarial run must fail typed, got {other:?} from {spec:?}"),
+    };
+
+    // Degraded: the mix must always complete, quarantining each faulting
+    // tenant onto the fallback design while the others keep their engines.
+    let degraded = Experiment::jobs(jobs())
+        .policy(PolicySpec::named("adversary"))
+        .config(config)
+        .options(RuntimeOptions {
+            validate: Validate::Always,
+            on_policy_fault: OnPolicyFault::FallbackTo(PolicySpec::named("Base UVM")),
+            ..RuntimeOptions::default()
+        })
+        .registry(&registry)
+        .run_multi()
+        .unwrap_or_else(|err| {
+            panic!("multi fallback must absorb the fault, got {err:?} from {spec:?}")
+        });
+    assert_eq!(degraded.jobs.len(), 2);
+    for job in &degraded.jobs {
+        assert!(job.slowdown.is_finite());
+        assert!(
+            job.audited_steps > 0,
+            "{}: fallback engine must keep auditing: {spec:?}",
+            job.name
+        );
+        if let Some(record) = &job.report.policy_fault {
+            assert_eq!(record.policy, "adversary");
+            // A build-time fault is quarantined during admission — the
+            // lane starts life on the fallback engine, so only mid-run
+            // faults bill a restart.
+            if !matches!(record.kind, PolicyFaultKind::BuildPanic { .. }) {
+                assert!(
+                    job.restarts >= 1,
+                    "{}: mid-run quarantine must record its restart: {spec:?}",
+                    job.name
+                );
+            }
+            assert_eq!(
+                job.report.policy, "Base UVM",
+                "{}: quarantined job must re-run under the fallback design",
+                job.name
+            );
+        }
+    }
+    if outcome.is_err() {
+        assert!(
+            degraded
+                .jobs
+                .iter()
+                .any(|job| job.report.policy_fault.is_some()),
+            "fail-fast saw a fault the fallback mix never recorded: {spec:?}"
+        );
+    }
+    outcome
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -150,6 +301,33 @@ proptest! {
             panic_in_build: build_select == 0,
         };
         let _ = check_case(spec, gpu_mib);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The multi-tenant sweep: the same hostile spec family as the solo
+    /// fuzz, but driving two concurrent quota'd jobs through the tenant
+    /// scheduler.  Fewer cases than the solo sweep because every case runs
+    /// four engines (two jobs × two degradation modes).
+    #[test]
+    fn scheduler_survives_adversarial_policies(
+        seed in 0u64..u64::MAX,
+        hostility in 0u8..=255u8,
+        actions_per_hook in 1u8..6u8,
+        panic_select in 0u32..80u32,
+        build_select in 0u32..16u32,
+        gpu_mib in 8u64..48u64,
+    ) {
+        let spec = AdversarialSpec {
+            seed,
+            hostility,
+            actions_per_hook,
+            panic_after_hooks: (panic_select < 30).then_some(panic_select),
+            panic_in_build: build_select == 0,
+        };
+        let _ = check_multi_case(spec, gpu_mib);
     }
 }
 
@@ -197,6 +375,52 @@ fn scripted_extremes_hit_their_fault_paths() {
         32,
     );
     assert!(tame.is_ok(), "a fully legal stream must complete cleanly");
+}
+
+/// The same scripted extremes under the tenant scheduler: concurrency
+/// must not change which fault class each extreme produces, and a tame
+/// mix must complete with every tenant inside its quota.
+#[test]
+fn scripted_multi_extremes_hit_their_fault_paths() {
+    let build = check_multi_case(
+        AdversarialSpec {
+            panic_in_build: true,
+            ..AdversarialSpec::from_seed(11)
+        },
+        32,
+    );
+    assert!(matches!(build, Err(PolicyFaultKind::BuildPanic { .. })));
+
+    let early_panic = check_multi_case(
+        AdversarialSpec {
+            hostility: 0,
+            panic_after_hooks: Some(0),
+            ..AdversarialSpec::from_seed(12)
+        },
+        32,
+    );
+    assert!(matches!(
+        early_panic,
+        Err(PolicyFaultKind::StepPanic { .. })
+    ));
+
+    let vicious = check_multi_case(
+        AdversarialSpec {
+            hostility: 255,
+            ..AdversarialSpec::from_seed(13)
+        },
+        32,
+    );
+    assert!(vicious.is_err(), "a fully hostile mix must fault");
+
+    let tame = check_multi_case(
+        AdversarialSpec {
+            hostility: 0,
+            ..AdversarialSpec::from_seed(14)
+        },
+        32,
+    );
+    assert!(tame.is_ok(), "a fully legal mix must complete cleanly");
 }
 
 /// Longer sweep for the full-size workflow (`--ignored`): 1024 additional

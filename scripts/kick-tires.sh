@@ -106,6 +106,39 @@ grep -q 'step-panic@2 in `DeepUM+`' "$OUT_DIR/fallback.log" || {
     exit 1
 }
 
+# Multi-tenant replay: a two-job mix sharing one simulated GPU must
+# produce physical per-job slowdowns (>= 1.0) and byte-identical CSVs
+# across two fresh processes — the tenant scheduler is deterministic.
+MULTI_ARGS=(multi --jobs tinycnn:16:4:40,tinytransformer:16:1:8:20
+    --policy base-uvm,tensile --gpu-mib 64 --no-cache)
+
+step "multi-tenant: two-job mix (pass 1)"
+cargo run "$PROFILE_FLAG" -q -p g10-bench --bin experiments -- \
+    "${MULTI_ARGS[@]}" --out "$OUT_DIR/multi1" | tee "$OUT_DIR/multi1.log"
+
+step "multi-tenant: two-job mix (pass 2, fresh process)"
+cargo run "$PROFILE_FLAG" -q -p g10-bench --bin experiments -- \
+    "${MULTI_ARGS[@]}" --out "$OUT_DIR/multi2" >/dev/null
+
+step "multi-tenant: verifying determinism and physical slowdowns"
+for csv in multi_throughput.csv multi_slowdown.csv; do
+    test -s "$OUT_DIR/multi1/$csv" || {
+        echo "error: experiments multi did not write $csv" >&2
+        exit 1
+    }
+    cmp "$OUT_DIR/multi1/$csv" "$OUT_DIR/multi2/$csv" || {
+        echo "error: $csv differs between two identical multi runs" >&2
+        exit 1
+    }
+done
+awk -F, 'NR > 1 && $10 + 0 < 1.0 {
+    printf "error: job %s under %s has slowdown %s < 1.0\n", $2, $1, $10
+    bad = 1
+} END { exit bad }' "$OUT_DIR/multi1/multi_slowdown.csv" || {
+    echo "error: multi-tenant slowdowns must stay >= 1.0" >&2
+    exit 1
+}
+
 # Experiment service: start the daemon on an ephemeral port against the
 # store the cache passes populated, and drive it through `experiments
 # submit` — the same wire client the integration tests use.  A duplicate

@@ -40,6 +40,11 @@
 //! built-in does — `Experiment`, [`PolicySpec`](sim::PolicySpec) string
 //! parsing, and the `experiments --policy <name>` CLI.  See
 //! [`g10_sim::session`] for an end-to-end example.
+//!
+//! Multiple jobs can share one simulated GPU through the same session:
+//! describe each tenant with a [`sim::JobSpec`] (arrival, priority, byte
+//! quota) and run the mix with `Experiment::jobs([...]).run_multi()`.  See
+//! [`g10_sim::tenancy`] for the scheduling model.
 
 pub use g10_core as core;
 pub use g10_dnn as dnn;
@@ -64,13 +69,17 @@ pub use g10_uvm as uvm;
 /// knobs ([`Validate`](g10_sim::Validate),
 /// [`OnPolicyFault`](g10_sim::OnPolicyFault),
 /// [`FaultPlan`](g10_sim::FaultPlan),
-/// [`PolicyFaultKind`](g10_sim::PolicyFaultKind)).
+/// [`PolicyFaultKind`](g10_sim::PolicyFaultKind)), and the multi-tenant
+/// surface ([`JobSpec`](g10_sim::JobSpec),
+/// [`MultiReport`](g10_sim::MultiReport), [`TenantId`](g10_sim::TenantId),
+/// [`register_tensile`](g10_sim::register_tensile)).
 pub mod prelude {
     pub use g10_core::config::SystemConfig;
     pub use g10_dnn::models::ModelKind;
     pub use g10_sim::{
-        register_policy, Experiment, FaultPlan, FaultRecord, InjectedFault, OnPolicyFault,
-        PolicyContext, PolicyFaultKind, PolicyKind, PolicyProvider, PolicyRegistry, PolicySpec,
-        RuntimeOptions, SimError, SimReport, Validate, Workload,
+        register_policy, register_tensile, Experiment, FaultPlan, FaultRecord, InjectedFault,
+        JobReport, JobSpec, MultiReport, OnPolicyFault, PolicyContext, PolicyFaultKind, PolicyKind,
+        PolicyProvider, PolicyRegistry, PolicySpec, RuntimeOptions, SimError, SimReport, TenantId,
+        Validate, Workload,
     };
 }

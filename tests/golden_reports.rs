@@ -23,34 +23,13 @@
 //! G10_BLESS=1 cargo test --release --test golden_reports -- --include-ignored
 //! ```
 
+//! The fingerprint is [`SimReport::fingerprint`] — the one canonical digest
+//! shared with the session/tenancy equivalence pins and the serve wire
+//! format (`g10::sim::ReportFingerprint` is the underlying FNV-1a helper).
+
 use g10::core::config::SystemConfig;
 use g10::dnn::models::ModelKind;
 use g10::sim::runner::{run_policy, PolicyKind, Workload};
-use g10::sim::SimReport;
-use g10_bench::workload_pipeline::Fingerprint;
-
-/// Folds every field of a replay report into one fingerprint.
-fn fingerprint_report(report: &SimReport) -> u64 {
-    let mut fp = Fingerprint::new();
-    fp.push(report.batch);
-    fp.push(report.total_time.as_nanos());
-    fp.push(report.ideal_time.as_nanos());
-    fp.push(report.stall_time.as_nanos());
-    for s in &report.kernel_slowdowns {
-        fp.push(s.to_bits());
-    }
-    fp.push(report.traffic.gpu_to_ssd_bytes);
-    fp.push(report.traffic.ssd_to_gpu_bytes);
-    fp.push(report.traffic.gpu_to_host_bytes);
-    fp.push(report.traffic.host_to_gpu_bytes);
-    fp.push(report.fault_count);
-    fp.push(report.prefetches_issued);
-    fp.push(report.prefetches_dropped);
-    fp.push(report.evictions_issued);
-    fp.push(report.oversubscribed as u64);
-    fp.push(report.working_set_exceeds_gpu as u64);
-    fp.finish()
-}
 
 /// All seven designs of §7, in a fixed snapshot order.
 const ALL_POLICIES: [PolicyKind; 7] = [
@@ -81,7 +60,7 @@ fn snapshot_lines(cells: &[(ModelKind, u64, u64)]) -> Vec<String> {
                 report.stall_time.as_nanos(),
                 report.fault_count,
                 report.evictions_issued,
-                fingerprint_report(&report)
+                report.fingerprint()
             ));
         }
     }
@@ -143,7 +122,7 @@ fn replay_is_deterministic() {
     ] {
         let a = run_policy(&workload, policy, &config);
         let b = run_policy(&workload, policy, &config);
-        assert_eq!(fingerprint_report(&a), fingerprint_report(&b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(a, b);
     }
 }

@@ -19,31 +19,12 @@ use g10::sim::engine::EngineState;
 use g10::sim::policy::{largest_victim_to_ssd, MemoryPolicy};
 use g10::sim::runner::{run_policy, run_policy_with_planning_trace};
 use g10::sim::Location;
-use g10_bench::workload_pipeline::Fingerprint;
 use std::sync::Arc;
 
-/// Folds every field of a replay report into one fingerprint (the scheme of
-/// `tests/golden_reports.rs`).
+/// The canonical report digest shared with `tests/golden_reports.rs`
+/// (see [`g10::sim::ReportFingerprint`]).
 fn fingerprint_report(report: &SimReport) -> u64 {
-    let mut fp = Fingerprint::new();
-    fp.push(report.batch);
-    fp.push(report.total_time.as_nanos());
-    fp.push(report.ideal_time.as_nanos());
-    fp.push(report.stall_time.as_nanos());
-    for s in &report.kernel_slowdowns {
-        fp.push(s.to_bits());
-    }
-    fp.push(report.traffic.gpu_to_ssd_bytes);
-    fp.push(report.traffic.ssd_to_gpu_bytes);
-    fp.push(report.traffic.gpu_to_host_bytes);
-    fp.push(report.traffic.host_to_gpu_bytes);
-    fp.push(report.fault_count);
-    fp.push(report.prefetches_issued);
-    fp.push(report.prefetches_dropped);
-    fp.push(report.evictions_issued);
-    fp.push(report.oversubscribed as u64);
-    fp.push(report.working_set_exceeds_gpu as u64);
-    fp.finish()
+    report.fingerprint()
 }
 
 /// The tiny-model cells of the golden-report suite: capacities chosen so the

@@ -1,0 +1,200 @@
+//! Tenancy-vs-legacy equivalence: the multi-tenant replay subsystem must be
+//! an *extension* of the engine, not a behavioural fork.
+//!
+//! A single job pushed through `Experiment::jobs([...]).run_multi()` — with
+//! no quota and no contention — takes the exact same per-kernel path as the
+//! legacy `Experiment::run`: same engine, same policy hooks, plus a
+//! tenant-tagged accounting ledger that the engine never reads.  These
+//! tests pin that claim with full-report equality (and the canonical
+//! [`SimReport::fingerprint`] the golden suite uses) over the same
+//! (model, batch, capacity) cells as `tests/golden_reports.rs`, for all
+//! seven built-in designs.
+//!
+//! The second half pins the scheduling contract of a real mix: stride
+//! scheduling bounds how long a high-priority job can be held up by
+//! lower-priority tenants, and two runs of the same mix are bit-identical.
+
+use g10::prelude::*;
+use g10::time::Nanos;
+use std::sync::Arc;
+
+/// The tiny-model cells of the golden-report suite: capacities chosen so
+/// the eviction, fault and prefetch paths are all exercised.
+const CELLS: [(ModelKind, u64, u64); 3] = [
+    (ModelKind::TinyCnn, 64, 64 << 20),
+    (ModelKind::TinyCnn, 64, 32 << 20),
+    (ModelKind::TinyTransformer, 32, 4 << 20),
+];
+
+/// Every (cell, built-in policy) combination replayed solo through the
+/// tenancy path must be byte-identical to the legacy session path.
+#[test]
+fn solo_job_through_tenancy_path_matches_legacy_for_every_builtin() {
+    for (model, batch, gpu_bytes) in CELLS {
+        let workload = Arc::new(Workload::new(model, batch));
+        let config = SystemConfig::table2().with_gpu_memory(gpu_bytes);
+        for kind in PolicyKind::ALL {
+            let legacy = Experiment::new(&workload)
+                .policy(kind)
+                .config(config)
+                .run()
+                .expect("built-in policies resolve");
+            let multi = Experiment::jobs([JobSpec::new("solo", Arc::clone(&workload))])
+                .policy(kind)
+                .config(config)
+                .run_multi()
+                .expect("solo multi run succeeds");
+            assert_eq!(multi.jobs.len(), 1);
+            let job = &multi.jobs[0];
+            assert_eq!(
+                job.report.fingerprint(),
+                legacy.fingerprint(),
+                "{model:?} batch {batch} gpu {gpu_bytes} under {kind}: \
+                 tenancy path diverged from the legacy engine"
+            );
+            // Fingerprints cover the numeric fields; the full struct pin
+            // also covers the labels and the (absent) fault annotation.
+            assert_eq!(job.report, legacy);
+            // No contention, no queueing: the slowdown is exactly 1.
+            assert_eq!(job.slowdown, 1.0);
+            assert_eq!(job.arrival, Nanos::ZERO);
+            assert_eq!(job.finished, legacy.total_time);
+            assert_eq!(job.restarts, 0);
+        }
+    }
+}
+
+/// A three-tenant mix with arrivals, priorities and quotas under the
+/// cross-job-aware policy.  Returns the workloads too, so callers can
+/// reach each job's trace.
+fn three_tenant_mix() -> (Vec<Arc<Workload>>, MultiReport) {
+    register_tensile();
+    let config = SystemConfig::table2().with_gpu_memory(48 << 20);
+    let workloads = vec![
+        Arc::new(Workload::new(ModelKind::TinyCnn, 64)),
+        Arc::new(Workload::new(ModelKind::TinyCnn, 32)),
+        Arc::new(Workload::new(ModelKind::TinyTransformer, 32)),
+    ];
+    let report = Experiment::jobs([
+        JobSpec::new("hi", Arc::clone(&workloads[0]))
+            .priority(8)
+            .quota_bytes(32 << 20),
+        JobSpec::new("mid", Arc::clone(&workloads[1]))
+            .priority(2)
+            .arrival(Nanos::from_micros(20))
+            .quota_bytes(16 << 20),
+        JobSpec::new("lo", Arc::clone(&workloads[2]))
+            .priority(1)
+            .arrival(Nanos::from_micros(40))
+            .quota_bytes(8 << 20),
+    ])
+    .policy(PolicySpec::named("tensile"))
+    .config(config)
+    .run_multi()
+    .expect("tensile mix runs");
+    (workloads, report)
+}
+
+/// Stride scheduling's lag bound, checked on the high-priority tenant: its
+/// time in the system can exceed its own busy time by at most the share
+/// other tenants are entitled to, plus per-kernel non-preemption slack.
+///
+/// With weights `w_j` (total `W`), stride scheduling guarantees the
+/// device time any competitor receives inside the hi job's window is
+/// proportional to `w_j / w_hi` of the hi job's busy time, up to one
+/// maximal kernel of lag per tenant; doubling the slack term absorbs the
+/// arrival-alignment overshoot.  A scheduler that starved the hi job (or
+/// let a low-priority tenant overrun its stride share) breaks this bound.
+#[test]
+fn high_priority_job_meets_its_contention_bound_under_the_quota_policy() {
+    let (workloads, report) = three_tenant_mix();
+    assert_eq!(report.jobs.len(), 3);
+    let total_weight: f64 = report.jobs.iter().map(|j| f64::from(j.priority)).sum();
+    // Per-tenant maximal single-kernel busy time in the multi run:
+    // slowdown_k × ideal duration_k over that job's own trace.
+    let max_kernel_busy: Vec<f64> = report
+        .jobs
+        .iter()
+        .zip(&workloads)
+        .map(|(job, workload)| {
+            job.report
+                .kernel_slowdowns
+                .iter()
+                .zip(workload.trace.durations())
+                .map(|(slowdown, ideal)| slowdown * ideal.as_nanos() as f64)
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let hi = &report.jobs[0];
+    assert_eq!(hi.name, "hi");
+    let busy_hi = hi.report.total_time.as_nanos() as f64;
+    let window = hi.multi_time().as_nanos() as f64;
+    let slack: f64 = report
+        .jobs
+        .iter()
+        .zip(&max_kernel_busy)
+        .map(|(job, max_busy)| f64::from(job.priority) * max_busy)
+        .sum::<f64>()
+        * 2.0;
+    let bound = busy_hi * total_weight / f64::from(hi.priority) + slack;
+    assert!(
+        window <= bound,
+        "hi tenant's window {window} ns exceeds its stride bound {bound} ns \
+         (busy {busy_hi} ns, weights {total_weight})"
+    );
+    // And the slowdown contract of the report itself.
+    for job in &report.jobs {
+        assert!(
+            job.slowdown >= 1.0,
+            "{}: contention cannot speed a job up (slowdown {})",
+            job.name,
+            job.slowdown
+        );
+        assert!(job.finished >= job.arrival);
+        assert!(job.started >= job.arrival);
+    }
+    assert!(report.aggregate_throughput() > 0.0);
+    assert_eq!(
+        report.makespan,
+        report.jobs.iter().map(|j| j.finished).max().unwrap()
+    );
+}
+
+/// The same mix replayed twice is bit-identical — the determinism the
+/// Figure-style CSVs (and the kick-tires smoke) rely on.
+#[test]
+fn multi_tenant_replay_is_deterministic() {
+    let (_, first) = three_tenant_mix();
+    let (_, second) = three_tenant_mix();
+    assert_eq!(first.fingerprint(), second.fingerprint());
+    assert_eq!(first, second);
+}
+
+/// Quota accounting is visible in the per-tenant usage tallies, and a
+/// clean (non-oversubscribed) run never leaves a tenant's high-water mark
+/// above its quota.
+#[test]
+fn quota_tenants_stay_within_their_high_water_bound() {
+    let (_, report) = three_tenant_mix();
+    for job in &report.jobs {
+        let Some(quota) = job.quota_bytes else {
+            continue;
+        };
+        if !job.report.oversubscribed {
+            assert!(
+                job.usage.resident_high_water <= quota,
+                "{}: high water {} exceeds quota {quota}",
+                job.name,
+                job.usage.resident_high_water
+            );
+        }
+    }
+}
+
+/// An empty mix is a typed error, not a panic.
+#[test]
+fn empty_job_list_is_a_typed_error() {
+    let err = Experiment::jobs([]).run_multi().unwrap_err();
+    assert!(matches!(err, SimError::EmptyJobs));
+    assert!(err.to_string().contains("at least one job"));
+}
